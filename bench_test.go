@@ -1,0 +1,237 @@
+package cash
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark
+// regenerates its artifact end-to-end — workload generation, the
+// brute-force oracle characterisation (§V-C), the experiment runs, and
+// the report — and publishes the headline numbers as benchmark metrics.
+//
+// The full evaluation is expensive on one core; benchmarks therefore
+// run the workloads at a reduced scale (CASH_BENCH_SCALE, default
+// 0.12). The oracle characterisation is cached on disk across runs
+// (CASH_ORACLE_CACHE), so the first -bench invocation pays the sweep
+// and later ones do not. `cashsim -scale 1 all` runs the full thing.
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"cash/internal/figs"
+	"cash/internal/ssim"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// benchScale returns the workload scale for benchmarks.
+func benchScale() float64 {
+	if s := os.Getenv("CASH_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.12
+}
+
+func newBenchHarness() *figs.Harness {
+	h := figs.New(io.Discard)
+	h.Scale = benchScale()
+	return h
+}
+
+// BenchmarkFig1_X264PhaseContours regenerates Fig 1: the 8×8 IPC
+// surface of every x264 phase plus the local-optima analysis.
+func BenchmarkFig1_X264PhaseContours(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		if err := h.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2_MotivationalComparison regenerates Fig 2: Optimal vs
+// Race-to-Idle vs ConvexOptimization time series on x264.
+func BenchmarkFig2_MotivationalComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		if err := h.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverhead_Reconfiguration regenerates §VI-A's architectural
+// and runtime overhead measurements.
+func BenchmarkOverhead_Reconfiguration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		if err := h.Overhead(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7_CostAndViolations regenerates Fig 7 (13 applications ×
+// 4 allocators) and reports Table III's geomean cost ratios as metrics.
+func BenchmarkFig7_CostAndViolations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		res, err := h.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Table3(res)
+		gm := res.Geomeans()
+		if opt := gm["Optimal"]; opt > 0 {
+			b.ReportMetric(gm["ConvexOptimization"]/opt, "convex/opt")
+			b.ReportMetric(gm["RaceToIdle"]/opt, "rti/opt")
+			b.ReportMetric(gm["CASH"]/opt, "cash/opt")
+		}
+	}
+}
+
+// BenchmarkTable3_GeomeanCost is the Table III view of the Fig 7 data.
+func BenchmarkTable3_GeomeanCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		res, err := h.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Table3(res)
+	}
+}
+
+// BenchmarkFig8_X264TimeSeries regenerates Fig 8: ConvexOptimization,
+// RaceToIdle and CASH time series on x264.
+func BenchmarkFig8_X264TimeSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		if err := h.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9_ApacheTimeSeries regenerates Fig 9: the apache server
+// under an oscillating request load with a latency QoS.
+func BenchmarkFig9_ApacheTimeSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		if err := h.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10_CoarseVsFine regenerates Fig 10: coarse-grain
+// (big.LITTLE) versus fine-grain architectures under race-to-idle and
+// adaptive management; the headline metric is CASH's saving over
+// CoarseGrain,race.
+func BenchmarkFig10_CoarseVsFine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		res, err := h.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gm := res.Geomeans()
+		if cg := gm["CoarseGrain,race"]; cg > 0 {
+			b.ReportMetric(100*(1-gm["CASH"]/cg), "saving%")
+		}
+	}
+}
+
+// BenchmarkAblations re-runs x264 with individual runtime mechanisms
+// disabled or replaced (the design-choice index in DESIGN.md §4).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness()
+		if err := h.Ablations(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_SimThroughput measures SSim's raw simulation speed
+// (instructions per second) — the quantity that makes the brute-force
+// oracle affordable.
+func BenchmarkAblation_SimThroughput(b *testing.B) {
+	app := workload.X264()
+	sim := ssim.MustNew(vcore.Config{Slices: 4, L2KB: 1024}, DefaultSliceConfig(), ssim.SteerEarliest)
+	gen := workload.NewGen(app, 42)
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		n, _ := sim.Run(gen, 100_000)
+		instrs += n
+		if gen.Done() {
+			gen.Reset()
+		}
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkAblation_Steering compares the dependence-aware steering
+// policy against blind round-robin on a high-ILP phase.
+func BenchmarkAblation_Steering(b *testing.B) {
+	p := workload.X264().Phases[3]
+	for _, pol := range []struct {
+		name string
+		p    ssim.SteeringPolicy
+	}{{"earliest", ssim.SteerEarliest}, {"roundrobin", ssim.SteerRoundRobin}} {
+		b.Run(pol.name, func(b *testing.B) {
+			var totalInstr, totalCycle int64
+			for i := 0; i < b.N; i++ {
+				sim := ssim.MustNew(vcore.Config{Slices: 4, L2KB: 512}, DefaultSliceConfig(), pol.p)
+				gen := workload.NewPhaseGen(p, 3, 42)
+				n, c := sim.Run(gen, 60_000)
+				totalInstr += n
+				totalCycle += c
+			}
+			b.ReportMetric(float64(totalInstr)/float64(totalCycle), "IPC")
+		})
+	}
+}
+
+// BenchmarkRuntimeDecide measures one iteration of Algorithm 1 on the
+// host (§VI-A's runtime overhead).
+func BenchmarkRuntimeDecide(b *testing.B) {
+	rt, err := NewRuntime(0.5, RuntimeOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := []struct{}{}
+	_ = obs
+	prev := rt.Decide(nil, 100_000)
+	_ = prev
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Decide(nil, 100_000)
+	}
+}
+
+// BenchmarkReconfigure measures the full reconfiguration path
+// (register flush protocol + L2 flush) between two configurations.
+func BenchmarkReconfigure(b *testing.B) {
+	sim := ssim.MustNew(vcore.Config{Slices: 2, L2KB: 256}, DefaultSliceConfig(), ssim.SteerEarliest)
+	gen := workload.NewGen(workload.X264(), 42)
+	small := vcore.Config{Slices: 2, L2KB: 256}
+	big := vcore.Config{Slices: 6, L2KB: 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(gen, 2000)
+		if gen.Done() {
+			gen.Reset()
+		}
+		target := big
+		if sim.Config() == big {
+			target = small
+		}
+		if _, err := sim.Reconfigure(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

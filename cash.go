@@ -1,0 +1,218 @@
+// Package cash is a from-scratch reproduction of "CASH: Supporting IaaS
+// Customers with a Sub-core Configurable Architecture" (Zhou, Hoffmann,
+// Wentzlaff — ISCA 2016).
+//
+// CASH co-designs a sub-core configurable hardware architecture — a
+// homogeneous fabric of Slices (simple out-of-order mini-cores) and L2
+// cache banks that compose at runtime into virtual cores — with a
+// cost-optimizing runtime that combines a deadbeat controller, a
+// Kalman-filter phase estimator and a Q-learning configuration
+// optimizer to meet a QoS target at minimal rental cost.
+//
+// This package is the public facade over the full system:
+//
+//   - NewSimulator builds SSim, the cycle-level timing simulator of the
+//     CASH fabric (§V-A), for any virtual-core configuration.
+//   - NewRuntime builds the CASH runtime (§IV, Algorithm 1); NewConvex,
+//     RaceToIdle and Static provide the paper's baseline allocators.
+//   - Run executes an application under an allocator on the simulated
+//     fabric, with reconfiguration overheads, rental billing and QoS
+//     accounting (§VI).
+//   - NewOracle characterises applications over the whole configuration
+//     space and derives optimal allocations (§V-C).
+//   - Benchmarks returns the paper's 13-application workload suite.
+//
+// See examples/quickstart for the smallest end-to-end program, and
+// cmd/cashsim to regenerate every table and figure of the paper.
+package cash
+
+import (
+	"fmt"
+	"io"
+
+	"cash/internal/alloc"
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/figs"
+	"cash/internal/oracle"
+	"cash/internal/slice"
+	"cash/internal/ssim"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// Core architecture types.
+type (
+	// Config is one virtual-core configuration: a number of Slices and
+	// an L2 size (§II-A: 1–8 Slices × 64KB–8MB).
+	Config = vcore.Config
+	// SliceConfig is the Slice microarchitecture (Table I).
+	SliceConfig = slice.Config
+	// Simulator is SSim, the cycle-level timing simulator (§V-A).
+	Simulator = ssim.Sim
+	// SteeringPolicy selects how instructions spread across Slices.
+	SteeringPolicy = ssim.SteeringPolicy
+)
+
+// Steering policies.
+const (
+	SteerEarliest   = ssim.SteerEarliest
+	SteerRoundRobin = ssim.SteerRoundRobin
+)
+
+// Workload types.
+type (
+	// App is a benchmark application: a sequence of phases.
+	App = workload.App
+	// Phase is one steady-state region of an application.
+	Phase = workload.Phase
+	// RequestStream is an open-loop arrival process (Fig 9).
+	RequestStream = workload.RequestStream
+	// Gen deterministically produces an application's dynamic
+	// instruction stream; it feeds Simulator.Run directly.
+	Gen = workload.Gen
+)
+
+// NewGen returns a deterministic instruction generator for an
+// application; the same (app, seed) pair always yields the same stream.
+func NewGen(app App, seed uint64) *Gen { return workload.NewGen(app, seed) }
+
+// Runtime and allocator types.
+type (
+	// Runtime is the CASH runtime (§IV).
+	Runtime = cashrt.Runtime
+	// RuntimeOptions tune the runtime; the zero value is the paper's
+	// design.
+	RuntimeOptions = cashrt.Options
+	// Allocator is a resource-allocation policy.
+	Allocator = alloc.Allocator
+	// RaceToIdle is the worst-case-provisioned baseline (§II-B).
+	RaceToIdle = alloc.RaceToIdle
+	// Static always uses one fixed configuration.
+	Static = alloc.Static
+	// PricingModel prices configurations (§VI-B).
+	PricingModel = cost.Model
+)
+
+// Experiment types.
+type (
+	// RunOptions configure an experiment run.
+	RunOptions = experiment.Opts
+	// Result is a completed experiment with time series and totals.
+	Result = experiment.Result
+	// Oracle is the brute-force characterisation database (§V-C).
+	Oracle = oracle.DB
+)
+
+// ConfigSpace returns the full 8×8 virtual-core configuration grid.
+func ConfigSpace() []Config { return vcore.Space() }
+
+// MinConfig and MaxConfig bound the configuration space.
+func MinConfig() Config { return vcore.Min() }
+
+// MaxConfig returns the largest configuration (8 Slices, 8MB L2).
+func MaxConfig() Config { return vcore.Max() }
+
+// DefaultSliceConfig returns Table I.
+func DefaultSliceConfig() SliceConfig { return slice.DefaultConfig() }
+
+// DefaultPricing returns the paper's pricing model ($0.0098/Slice/hr +
+// $0.0032/64KB/hr, anchored to EC2 t2.micro).
+func DefaultPricing() PricingModel { return cost.Default() }
+
+// Benchmarks returns the paper's 13-application suite (§V-B).
+func Benchmarks() []App { return workload.Apps() }
+
+// Benchmark looks one application up by name ("x264", "mcf", ...).
+func Benchmark(name string) (App, bool) { return workload.ByName(name) }
+
+// NewSimulator builds a simulator for one virtual core in the given
+// configuration with the Table I microarchitecture.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	return ssim.New(cfg, slice.DefaultConfig(), ssim.SteerEarliest)
+}
+
+// NewRuntime builds the CASH runtime for a QoS target (an IPC floor for
+// batch applications, or 1.0 for normalized-latency server QoS) under
+// the default pricing model.
+func NewRuntime(target float64, opts RuntimeOptions) (*Runtime, error) {
+	return cashrt.New(target, cost.Default(), opts)
+}
+
+// NewConvex builds the convex-optimization baseline allocator (§VI-C),
+// calibrated with the given average-case speedup model.
+func NewConvex(target float64, avgSpeedup func(Config) float64) (*Runtime, error) {
+	return cashrt.NewConvex(target, cost.Default(), avgSpeedup)
+}
+
+// Run executes an application under an allocator on the simulated CASH
+// fabric and returns the cost/QoS outcome.
+func Run(app App, policy Allocator, opts RunOptions) (Result, error) {
+	return experiment.Run(app, policy, opts)
+}
+
+// NewOracle builds a characterisation database with the paper's
+// defaults. Use LoadCache/SaveCache to persist the brute-force sweep.
+func NewOracle() *Oracle { return oracle.NewDB() }
+
+// Reproduce regenerates a named artifact of the paper's evaluation
+// ("fig1", "fig2", "table1", "table2", "overhead", "fig7", "table3",
+// "fig8", "fig9", "fig10", "ablations", or "all"), writing the report
+// to w. scale shrinks the workloads (1.0 = the full evaluation).
+func Reproduce(w io.Writer, artifact string, scale float64) error {
+	h := figs.New(w)
+	if scale > 0 {
+		h.Scale = scale
+	}
+	defer h.Save()
+	runFig7 := func() error {
+		res, err := h.Fig7()
+		if err != nil {
+			return err
+		}
+		h.Table3(res)
+		return nil
+	}
+	switch artifact {
+	case "fig1":
+		return h.Fig1()
+	case "fig2":
+		return h.Fig2()
+	case "table1":
+		h.Table1()
+		return nil
+	case "table2":
+		h.Table2()
+		return nil
+	case "overhead":
+		return h.Overhead()
+	case "fig7", "table3":
+		return runFig7()
+	case "fig8":
+		return h.Fig8()
+	case "fig9":
+		return h.Fig9()
+	case "fig10":
+		_, err := h.Fig10()
+		return err
+	case "ablations":
+		return h.Ablations()
+	case "all":
+		h.Table1()
+		h.Table2()
+		for _, f := range []func() error{
+			h.Fig1, h.Fig2, h.Overhead, runFig7, h.Fig8, h.Fig9,
+			func() error { _, err := h.Fig10(); return err },
+			h.Ablations,
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("cash: unknown artifact %q", artifact)
+	}
+}

@@ -1,0 +1,58 @@
+// Command cashsim regenerates the tables and figures of the CASH paper
+// (Zhou, Hoffmann, Wentzlaff — ISCA 2016) on the simulated CASH fabric.
+//
+// Usage:
+//
+//	cashsim [-scale f] [-out file] <artifact>
+//
+// where artifact is one of: fig1 fig2 table1 table2 overhead fig7
+// table3 fig8 fig9 fig10 ablations all.
+//
+// The brute-force characterisation (§V-C) is cached on disk
+// ($CASH_ORACLE_CACHE or the user cache directory), so repeated
+// invocations are fast. -scale shrinks workloads proportionally; the
+// cache is keyed by workload content, so different scales do not
+// collide.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cash"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full evaluation)")
+	out := flag.String("out", "", "write the report to a file instead of stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] <artifact>\n\n")
+		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	if err := cash.Reproduce(w, flag.Arg(0), *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "cashsim:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cashsim: %s done in %v\n", flag.Arg(0), time.Since(start).Round(time.Millisecond))
+}

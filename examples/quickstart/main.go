@@ -1,0 +1,79 @@
+// Quickstart: run one benchmark under the CASH runtime and print what
+// it cost and whether QoS held.
+//
+// The flow mirrors how an IaaS customer would use CASH (§I): pick a QoS
+// target, attach the runtime, run the workload — the runtime composes
+// and re-composes a virtual core out of Slices and L2 banks to meet the
+// target as cheaply as it can.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cash"
+)
+
+// defaultConvexModel is a generic concave resource model (speedup grows
+// smoothly with Slices and cache) — the uncalibrated assumption a
+// convex controller starts from.
+func defaultConvexModel() func(cash.Config) float64 {
+	return func(c cash.Config) float64 {
+		l2Idx := 0
+		for l2 := 64; l2 < c.L2KB; l2 *= 2 {
+			l2Idx++
+		}
+		return math.Pow(float64(c.Slices), 0.55) * (1 + 0.18*float64(l2Idx))
+	}
+}
+
+func main() {
+	// The x264 video encoder: ten phases with very different resource
+	// appetites (Fig 1 of the paper).
+	app, ok := cash.Benchmark("x264")
+	if !ok {
+		log.Fatal("benchmark not found")
+	}
+
+	// QoS requirement: a floor on instructions per cycle. A real
+	// deployment derives this from a frame-rate or latency goal.
+	const target = 0.15
+
+	runtime, err := cash.NewRuntime(target, cash.RuntimeOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cash.Run(app, runtime, cash.RunOptions{Target: target})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application:     %s (%d phases, %d Minstr)\n",
+		app.Name, len(app.Phases), app.TotalInstrs()/1e6)
+	fmt.Printf("QoS target:      %.2f IPC\n", target)
+	fmt.Printf("delivered:       %.2f IPC mean, %.1f%% of quanta violated\n",
+		float64(res.TotalInstrs)/float64(res.TotalCycles), 100*res.ViolationRate)
+	fmt.Printf("total cost:      $%.3g over %d Mcycles (avg $%.4f/hour)\n",
+		res.TotalCost, res.TotalCycles/1e6, res.MeanCostRate())
+	fmt.Printf("reconfigurations: %d (stall overhead %d cycles total)\n",
+		res.ReconfigCount, res.StallCycles)
+
+	// For comparison: the convex-optimization controller of §VI-C — the
+	// natural alternative policy, which models the configuration space
+	// with a smooth concave curve and so cannot represent the local
+	// optima that x264's phases exhibit (Fig 1).
+	convex, err := cash.NewConvex(target, defaultConvexModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := cash.Run(app, convex, cash.RunOptions{Target: target})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconvex optimization: $%.3g with %.1f%% violations — CASH cost %.0f%% less with %.1fx fewer violations\n",
+		ref.TotalCost, 100*ref.ViolationRate,
+		100*(1-res.TotalCost/ref.TotalCost),
+		ref.ViolationRate/max(res.ViolationRate, 1e-9))
+}

@@ -1,0 +1,117 @@
+// Videoencoder: the paper's motivating scenario (§II) — a video encoder
+// with a frame-rate QoS runs on CASH, and we watch the runtime chase
+// the encoder's phases across the configuration space.
+//
+// The example derives an IPC floor from a frame-rate goal, runs the
+// encoder under the CASH runtime, and prints a per-phase report showing
+// which configurations the runtime settled on versus what the oracle
+// says was optimal — the essence of Fig 1 + Fig 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cash"
+	"cash/internal/stats"
+)
+
+// Frame-rate model: one frame costs about 1.2M instructions (one phase
+// of our x264 model ~ a group of frames; this keeps the arithmetic
+// simple and visible). At a 1GHz fabric clock, fps = IPC * 1e9 / 1.2e6.
+const (
+	instrsPerFrame = 1.2e6
+	clockHz        = 1e9
+	targetFPS      = 200 // condensed timescale, like the paper's Fig 9
+)
+
+func main() {
+	app, ok := cash.Benchmark("x264")
+	if !ok {
+		log.Fatal("benchmark not found")
+	}
+	app = app.Scale(0.5)
+
+	targetIPC := targetFPS * instrsPerFrame / clockHz
+	fmt.Printf("frame-rate goal: %d fps -> QoS target %.3f IPC\n\n", targetFPS, targetIPC)
+
+	// Characterise the encoder so we can compare the runtime's choices
+	// with the oracle's (this is exactly §V-C's brute force; it takes a
+	// couple of minutes once, then is cached in memory).
+	oracle := cash.NewOracle()
+	fmt.Println("characterising the encoder over the configuration space...")
+	oracle.CharacterizeApp(app)
+
+	runtime, err := cash.NewRuntime(targetIPC, cash.RuntimeOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cash.Run(app, runtime, cash.RunOptions{Target: targetIPC})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate the time series per phase.
+	type phaseAgg struct {
+		quanta   int
+		violated int
+		cost     float64
+		ipc      float64
+		dominant map[cash.Config]int
+	}
+	agg := make([]phaseAgg, len(app.Phases))
+	for i := range agg {
+		agg[i].dominant = make(map[cash.Config]int)
+	}
+	for _, s := range res.Samples {
+		a := &agg[s.Phase]
+		a.quanta++
+		a.ipc += s.QoS
+		a.cost += s.CostRate
+		a.dominant[s.Config]++
+		if s.Violated {
+			a.violated++
+		}
+	}
+
+	model := cash.DefaultPricing()
+	bestCfg, bestIPC, err := oracle.BestPerPhase(app, targetIPC, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-16s %-10s %-12s %-12s %-10s %s\n",
+		"phase", "fps", "CASH config", "oracle cfg", "viol", "cost rate")
+	for pi, p := range app.Phases {
+		a := agg[pi]
+		if a.quanta == 0 {
+			continue
+		}
+		mode, modeN := cash.Config{}, 0
+		for c, n := range a.dominant {
+			if n > modeN {
+				mode, modeN = c, n
+			}
+		}
+		fps := a.ipc / float64(a.quanta) * clockHz / instrsPerFrame
+		fmt.Printf("%-16s %-10.0f %-12s %-12s %3d/%-4d  $%.3f/hr\n",
+			p.Name, fps, mode.String(), bestCfg[pi].String(),
+			a.violated, a.quanta, a.cost/float64(a.quanta))
+		_ = bestIPC
+	}
+
+	fmt.Printf("\nencode finished: $%.3g total, %.1f%% violated quanta, %d reconfigurations\n",
+		res.TotalCost, 100*res.ViolationRate, res.ReconfigCount)
+
+	// Recover the encoder's phase structure from the delivered-QoS
+	// series alone (the paper's §V-C methodology, automated): the
+	// change-point detector should find boundaries near the known ten
+	// phases.
+	qos := make([]float64, len(res.Samples))
+	for i, s := range res.Samples {
+		qos[i] = s.QoS
+	}
+	bounds := stats.DetectPhases(qos, stats.PhaseDetectOptions{})
+	fmt.Printf("phase changes detected from the QoS series: %d (true phase transitions: %d)\n",
+		len(bounds), len(app.Phases)-1)
+}

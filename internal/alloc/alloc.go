@@ -1,0 +1,84 @@
+// Package alloc defines the resource-allocator interface the CASH
+// evaluation compares (§II-B, §VI), and implements the baselines:
+// race-to-idle, the convex-optimization controller, the per-phase
+// oracle policy, and the coarse-grain (big.LITTLE-style) restriction.
+// The CASH runtime itself lives in package cashrt and implements the
+// same interface.
+package alloc
+
+import (
+	"fmt"
+
+	"cash/internal/vcore"
+)
+
+// Observation reports what happened during one executed step: the
+// configuration the virtual core was in, how long it stayed there, the
+// QoS (IPC) it delivered, and whether the step was idle time.
+type Observation struct {
+	Config vcore.Config
+	Cycles int64
+	// Instrs is the number of instructions committed during the step.
+	Instrs int64
+	// QoS is Instrs/Cycles (0 for idle steps).
+	QoS float64
+	// Idle marks time spent parked (not executing the application).
+	Idle bool
+	// L2Changed marks a step that began with an L2 reconfiguration:
+	// the cache was flushed, so the step's QoS reflects cold-start
+	// behaviour rather than the configuration's steady state.
+	L2Changed bool
+	// Probe marks a measurement step run in a quantum's idle tail; it
+	// informs learning but is not the quantum's "real" tenancy.
+	Probe bool
+	// Phase is the workload phase index active when the step ended.
+	// Only the oracle policy may consult it; adaptive policies must
+	// infer phases from QoS feedback alone.
+	Phase int
+}
+
+// Step is one directive in a plan: occupy Config for up to MaxCycles.
+// If TargetInstrs > 0, the step also ends once that many instructions
+// have committed (how race-to-idle races through its quantum's work).
+// Idle steps pause the application; per the paper's optimistic
+// assumption for race-to-idle (§II-B), idle time is not billed.
+type Step struct {
+	Config       vcore.Config
+	MaxCycles    int64
+	TargetInstrs int64
+	Idle         bool
+	// Probe marks an idle-tail measurement step (see Observation.Probe).
+	Probe bool
+}
+
+// Plan is the allocator's directive for the next control quantum.
+type Plan struct {
+	Steps []Step
+}
+
+// Allocator is a resource-allocation policy. Once per control quantum
+// the engine reports the previous quantum's observations and asks for
+// the next plan.
+type Allocator interface {
+	// Name identifies the policy in reports ("CASH", "RaceToIdle", ...).
+	Name() string
+	// Decide consumes the previous quantum's observations (nil on the
+	// first call) and returns the plan for the next quantum of tau
+	// cycles.
+	Decide(prev []Observation, tau int64) Plan
+}
+
+// Static is the trivial allocator: one fixed configuration, never
+// idle. It is the building block for the fine-grain/coarse-grain race
+// baselines and a useful experimental control.
+type Static struct {
+	Cfg vcore.Config
+}
+
+// Name implements Allocator.
+func (s Static) Name() string { return fmt.Sprintf("Static(%s)", s.Cfg) }
+
+// Decide implements Allocator.
+func (s Static) Decide(_ []Observation, tau int64) Plan {
+	return Plan{Steps: []Step{{Config: s.Cfg, MaxCycles: tau}}}
+}

@@ -1,0 +1,91 @@
+package alloc
+
+import (
+	"testing"
+
+	"cash/internal/vcore"
+)
+
+func TestStatic(t *testing.T) {
+	cfg := vcore.Config{Slices: 3, L2KB: 512}
+	s := Static{Cfg: cfg}
+	if s.Name() != "Static(3s/512KB)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	p := s.Decide(nil, 100_000)
+	if len(p.Steps) != 1 || p.Steps[0].Config != cfg || p.Steps[0].MaxCycles != 100_000 {
+		t.Errorf("plan = %+v", p)
+	}
+	if p.Steps[0].Idle {
+		t.Error("static never idles")
+	}
+}
+
+func TestRaceToIdlePlan(t *testing.T) {
+	r := RaceToIdle{WorstCase: vcore.Max(), TargetQoS: 0.4}
+	p := r.Decide(nil, 100_000)
+	if len(p.Steps) != 2 {
+		t.Fatalf("race-to-idle plans race+idle, got %d steps", len(p.Steps))
+	}
+	race, idle := p.Steps[0], p.Steps[1]
+	if race.Config != vcore.Max() || race.Idle {
+		t.Errorf("race step wrong: %+v", race)
+	}
+	wantObligation := int64(100_000 * 0.4 * 1.02)
+	if race.TargetInstrs != wantObligation {
+		t.Errorf("obligation = %d, want %d", race.TargetInstrs, wantObligation)
+	}
+	if !idle.Idle {
+		t.Error("second step must idle")
+	}
+	if r.Name() != "RaceToIdle" {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func TestRaceToIdleMargin(t *testing.T) {
+	r := RaceToIdle{WorstCase: vcore.Max(), TargetQoS: 1, Margin: 0.1}
+	p := r.Decide(nil, 1000)
+	if p.Steps[0].TargetInstrs != 1100 {
+		t.Errorf("custom margin obligation = %d, want 1100", p.Steps[0].TargetInstrs)
+	}
+}
+
+func TestOraclePolicyFollowsPhase(t *testing.T) {
+	cfgs := []vcore.Config{
+		{Slices: 1, L2KB: 64},
+		{Slices: 8, L2KB: 8192},
+	}
+	o := &OraclePolicy{PerPhase: cfgs, PhaseQoS: []float64{0.5, 0.3}, TargetQoS: 0.25}
+	p := o.Decide(nil, 100_000)
+	if p.Steps[0].Config != cfgs[0] {
+		t.Errorf("initial phase uses %s, want %s", p.Steps[0].Config, cfgs[0])
+	}
+	p = o.Decide([]Observation{{Phase: 1}}, 100_000)
+	if p.Steps[0].Config != cfgs[1] {
+		t.Errorf("phase 1 uses %s, want %s", p.Steps[0].Config, cfgs[1])
+	}
+	// Out-of-range phases clamp to the last entry.
+	p = o.Decide([]Observation{{Phase: 99}}, 100_000)
+	if p.Steps[0].Config != cfgs[1] {
+		t.Error("phase overflow must clamp")
+	}
+	if o.Name() != "Optimal" {
+		t.Errorf("Name = %q", o.Name())
+	}
+}
+
+func TestOraclePolicyRaces(t *testing.T) {
+	o := &OraclePolicy{
+		PerPhase:  []vcore.Config{{Slices: 2, L2KB: 128}},
+		PhaseQoS:  []float64{0.8},
+		TargetQoS: 0.4,
+	}
+	p := o.Decide(nil, 100_000)
+	if len(p.Steps) != 2 || !p.Steps[1].Idle {
+		t.Fatalf("oracle policy must race+idle: %+v", p.Steps)
+	}
+	if p.Steps[0].TargetInstrs <= 0 {
+		t.Error("race step needs an instruction obligation")
+	}
+}

@@ -1,0 +1,79 @@
+package alloc
+
+import "cash/internal/vcore"
+
+// RaceToIdle is the paper's race-to-idle baseline (§II-B, §VI-C): it
+// has prior knowledge of the lowest-cost configuration that meets the
+// QoS requirement in the application's worst-case phase, allocates that
+// configuration always, races through each quantum's work, and idles
+// once the quantum's QoS obligation is met. Under the paper's
+// optimistic assumptions (idling is instantaneous and free) it never
+// violates QoS, but it pays worst-case cost in every phase.
+type RaceToIdle struct {
+	// WorstCase is the precomputed cheapest configuration that meets
+	// the QoS target in the worst-case phase (from the oracle).
+	WorstCase vcore.Config
+	// TargetQoS is the required IPC floor.
+	TargetQoS float64
+	// Margin is the fractional overshoot raced beyond the obligation,
+	// to cover measurement boundary effects.
+	Margin float64
+}
+
+// Name implements Allocator.
+func (r RaceToIdle) Name() string { return "RaceToIdle" }
+
+// Decide implements Allocator: race the quantum's instruction
+// obligation on the worst-case configuration, then idle.
+func (r RaceToIdle) Decide(_ []Observation, tau int64) Plan {
+	margin := r.Margin
+	if margin <= 0 {
+		margin = 0.02
+	}
+	obligation := int64(float64(tau) * r.TargetQoS * (1 + margin))
+	return Plan{Steps: []Step{
+		{Config: r.WorstCase, MaxCycles: tau, TargetInstrs: obligation},
+		{Config: r.WorstCase, MaxCycles: tau, Idle: true},
+	}}
+}
+
+// OraclePolicy is the omniscient per-phase allocator used to draw the
+// "Optimal" lines (§V-C): for each phase it selects the precomputed
+// cheapest configuration that meets the QoS target in that phase, and
+// races/idles within the phase only when even that configuration
+// overshoots. It consults Observation.Phase, which adaptive policies
+// may not do.
+type OraclePolicy struct {
+	// PerPhase[i] is the cheapest feasible configuration for phase i.
+	PerPhase []vcore.Config
+	// TargetQoS is the required IPC floor.
+	TargetQoS float64
+	// PhaseQoS[i] is the oracle-measured IPC of PerPhase[i] in phase i;
+	// used to decide how much of the quantum the configuration must run.
+	PhaseQoS []float64
+
+	phase int
+}
+
+// Name implements Allocator.
+func (o *OraclePolicy) Name() string { return "Optimal" }
+
+// Decide implements Allocator: race the quantum's instruction
+// obligation on the phase's most cost-efficient feasible configuration,
+// then idle — the same race/idle discipline as RaceToIdle, but with the
+// per-phase optimal configuration instead of the global worst case.
+func (o *OraclePolicy) Decide(prev []Observation, tau int64) Plan {
+	if len(prev) > 0 {
+		o.phase = prev[len(prev)-1].Phase
+	}
+	i := o.phase
+	if i >= len(o.PerPhase) {
+		i = len(o.PerPhase) - 1
+	}
+	cfg := o.PerPhase[i]
+	obligation := int64(float64(tau) * o.TargetQoS * 1.02)
+	return Plan{Steps: []Step{
+		{Config: cfg, MaxCycles: tau, TargetInstrs: obligation},
+		{Config: cfg, MaxCycles: tau, Idle: true},
+	}}
+}

@@ -1,0 +1,265 @@
+package cashrt
+
+import (
+	"strings"
+	"testing"
+
+	"cash/internal/alloc"
+	"cash/internal/cost"
+	"cash/internal/qlearn"
+	"cash/internal/vcore"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, cost.Default(), Options{}); err == nil {
+		t.Error("zero target must fail")
+	}
+	r := MustNew(0.5, cost.Default(), Options{})
+	if r.Name() != "CASH" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if !strings.Contains(r.String(), "CASH") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestBootstrapPlan(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1})
+	plan := r.Decide(nil, 100_000)
+	if len(plan.Steps) == 0 {
+		t.Fatal("first quantum must produce a plan")
+	}
+	var total int64
+	for _, s := range plan.Steps {
+		if s.MaxCycles <= 0 && s.TargetInstrs <= 0 {
+			t.Errorf("useless step: %+v", s)
+		}
+		if !s.Idle {
+			total += s.MaxCycles
+		}
+	}
+	if total <= 0 {
+		t.Error("plan must run something")
+	}
+	if r.Iterations() != 1 {
+		t.Errorf("Iterations = %d", r.Iterations())
+	}
+}
+
+// drive runs the runtime against a synthetic plant where config c
+// delivers qos[c] exactly, returning the final quantum's observations.
+func drive(t *testing.T, r *Runtime, qos func(vcore.Config) float64, quanta int, tau int64) []alloc.Observation {
+	t.Helper()
+	var prev []alloc.Observation
+	for i := 0; i < quanta; i++ {
+		plan := r.Decide(prev, tau)
+		prev = prev[:0]
+		remaining := tau
+		for _, s := range plan.Steps {
+			if remaining <= 0 || s.MaxCycles <= 0 {
+				continue
+			}
+			c := s.MaxCycles
+			if c > remaining {
+				c = remaining
+			}
+			ob := alloc.Observation{Config: s.Config, Cycles: c, Idle: s.Idle, Probe: s.Probe}
+			if !s.Idle {
+				q := qos(s.Config)
+				instrs := int64(q * float64(c))
+				if s.TargetInstrs > 0 && instrs > s.TargetInstrs {
+					instrs = s.TargetInstrs
+					c = int64(float64(instrs) / q)
+					ob.Cycles = c
+				}
+				ob.Instrs = instrs
+				ob.QoS = q
+			}
+			remaining -= c
+			prev = append(prev, ob)
+		}
+	}
+	return prev
+}
+
+func TestConvergesToTargetOnStaticPlant(t *testing.T) {
+	target := 0.5
+	r := MustNew(target, cost.Default(), Options{Seed: 1})
+	// Plant: QoS grows with resources, exactly the prior's shape scaled
+	// to base 0.2.
+	plant := func(c vcore.Config) float64 { return 0.2 * qlearn.Prior(c) }
+
+	// After convergence the last quantum must deliver at least the
+	// target (with its margin) on aggregate.
+	last := drive(t, r, plant, 30, 100_000)
+	var instrs, cycles int64
+	for _, ob := range last {
+		instrs += ob.Instrs
+		cycles += ob.Cycles
+	}
+	if cycles == 0 {
+		t.Fatal("no work scheduled")
+	}
+	q := float64(instrs) / float64(cycles)
+	if q < target*0.95 {
+		t.Errorf("after 30 quanta the runtime delivers %.3f, want >= %.3f", q, target*0.95)
+	}
+	if q > target*1.6 {
+		t.Errorf("gross over-delivery (%.3f) wastes money", q)
+	}
+}
+
+func TestSingleConfigOption(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1, SingleConfig: true})
+	plant := func(c vcore.Config) float64 { return 0.2 * qlearn.Prior(c) }
+	drive(t, r, plant, 5, 100_000)
+	plan := r.Decide(nil, 100_000)
+	if len(plan.Steps) != 1 {
+		t.Errorf("SingleConfig plans must have one step, got %d", len(plan.Steps))
+	}
+}
+
+func TestGuardCommittedEscalates(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1, GuardStyle: GuardCommitted})
+	// Plant that delivers almost nothing: persistent misses.
+	plant := func(c vcore.Config) float64 { return 0.01 }
+	drive(t, r, plant, 8, 100_000)
+	if r.Recoveries == 0 {
+		t.Error("persistent shortfall must trigger the guard")
+	}
+	plan := r.Decide(nil, 100_000)
+	if len(plan.Steps) != 1 || plan.Steps[0].Config != r.Optimizer().Largest() {
+		t.Errorf("guard mode must park at the largest configuration, got %+v", plan.Steps)
+	}
+}
+
+func TestGuardOffByDefault(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1})
+	plant := func(c vcore.Config) float64 { return 0.01 }
+	drive(t, r, plant, 8, 100_000)
+	if r.Recoveries != 0 {
+		t.Errorf("default guard style is off; Recoveries = %d", r.Recoveries)
+	}
+}
+
+func TestProbePeriodEmitsProbes(t *testing.T) {
+	r := MustNew(0.3, cost.Default(), Options{Seed: 1, ProbePeriod: 1})
+	// A plant where mid-size configurations are needed, so race+idle
+	// schedules have cheaper configurations left to probe.
+	plant := func(c vcore.Config) float64 { return 0.1 * qlearn.Prior(c) }
+	probes := 0
+	var prev []alloc.Observation
+	for i := 0; i < 12; i++ {
+		plan := r.Decide(prev, 100_000)
+		prev = prev[:0]
+		for _, s := range plan.Steps {
+			if s.Probe {
+				probes++
+			}
+			q := plant(s.Config)
+			instrs := int64(q * 100_000)
+			if s.TargetInstrs > 0 && instrs > s.TargetInstrs {
+				instrs = s.TargetInstrs
+			}
+			prev = append(prev, alloc.Observation{
+				Config: s.Config, Cycles: 50_000, Instrs: instrs,
+				QoS: q, Idle: s.Idle, Probe: s.Probe,
+			})
+		}
+	}
+	if probes == 0 {
+		t.Error("ProbePeriod=1 should emit idle-tail probes")
+	}
+}
+
+func TestCoarseAdaptiveRestriction(t *testing.T) {
+	r, err := NewCoarseAdaptive(0.4, cost.Default(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "CoarseGrain,adaptive" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	big, little := BigLittle()
+	plant := func(c vcore.Config) float64 {
+		if c == big {
+			return 0.8
+		}
+		return 0.2
+	}
+	var prev []alloc.Observation
+	for i := 0; i < 15; i++ {
+		plan := r.Decide(prev, 100_000)
+		prev = prev[:0]
+		for _, s := range plan.Steps {
+			if s.Config != big && s.Config != little {
+				t.Fatalf("coarse allocator used %s, outside {%s,%s}", s.Config, big, little)
+			}
+			q := plant(s.Config)
+			prev = append(prev, alloc.Observation{
+				Config: s.Config, Cycles: 50_000,
+				Instrs: int64(q * 50_000), QoS: q, Idle: s.Idle, Probe: s.Probe,
+			})
+		}
+	}
+}
+
+func TestBigLittle(t *testing.T) {
+	big, little := BigLittle()
+	if big != (vcore.Config{Slices: 8, L2KB: 4096}) {
+		t.Errorf("big = %s, want 8s/4096KB (§VI-E)", big)
+	}
+	if little != (vcore.Config{Slices: 1, L2KB: 128}) {
+		t.Errorf("little = %s, want 1s/128KB (§VI-E)", little)
+	}
+}
+
+func TestConvexModelIsConcaveAlongCost(t *testing.T) {
+	r, err := NewConvex(0.5, cost.Default(), func(c vcore.Config) float64 {
+		// A bumpy, non-convex calibration: the hull must smooth it.
+		v := qlearn.Prior(c)
+		if c.Slices%2 == 0 {
+			v *= 0.6
+		}
+		return v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "ConvexOptimization" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	model := cost.Default()
+	cfgs := model.CheapestFirst()
+	opt := r.Optimizer()
+	// The installed model must be non-decreasing along cost (a convex
+	// optimizer assumes more resources never hurt).
+	prevQ := -1.0
+	base := 0.2
+	for _, c := range cfgs {
+		q := opt.QoSEstimate(c, base)
+		if q < prevQ*(1-1e-9) {
+			t.Fatalf("hull model decreases along cost at %s: %.4f after %.4f", c, q, prevQ)
+		}
+		if q > prevQ {
+			prevQ = q
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := MustNew(1, cost.Default(), Options{})
+	if r.opts.Alpha != qlearn.DefaultAlpha || r.opts.Epsilon != qlearn.DefaultEpsilon {
+		t.Error("learning defaults not applied")
+	}
+	if r.opts.Margin != 0.08 {
+		t.Errorf("margin default = %v", r.opts.Margin)
+	}
+	r2 := MustNew(1, cost.Default(), Options{Margin: -1})
+	if r2.opts.Margin != 0 {
+		t.Error("negative margin must disable headroom")
+	}
+	if r2.ctrl.Target != 1 {
+		t.Errorf("disabled margin: controller target = %v", r2.ctrl.Target)
+	}
+}

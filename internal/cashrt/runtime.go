@@ -1,0 +1,406 @@
+// Package cashrt is the CASH runtime (§IV, Algorithm 1): the
+// co-designed software half of the system. Once per control quantum it
+//
+//  1. reads the delivered QoS q(t) (synthesized from per-Slice
+//     performance-counter samples taken over the runtime interface
+//     network),
+//  2. updates the Kalman estimate b̂(t) of the application's base speed
+//     (phase detection, §IV-B),
+//  3. runs the deadbeat controller to produce a speedup demand s(t)
+//     (QoS guarantee, §IV-A),
+//  4. asks the LearningOptimizer for the minimal-cost two-configuration
+//     schedule achieving s(t) (cost minimization, §IV-C), and
+//  5. folds the quantum's per-configuration QoS observations back into
+//     the learned speedups (Eqn 7).
+//
+// Every step is O(1) in the number of configurations visited per
+// quantum, which is what makes the runtime cheap enough to execute on a
+// single Slice (§VI-A).
+package cashrt
+
+import (
+	"fmt"
+
+	"cash/internal/alloc"
+	"cash/internal/control"
+	"cash/internal/cost"
+	"cash/internal/qlearn"
+	"cash/internal/vcore"
+)
+
+// Options tune the runtime; zero values select the paper's design.
+// The Disable*/Single* switches exist for the ablation benchmarks.
+type Options struct {
+	// Alpha is the Q-learning rate (default qlearn.DefaultAlpha).
+	Alpha float64
+	// Epsilon is the exploration probability (default qlearn.DefaultEpsilon).
+	Epsilon float64
+	// ProcessVar, MeasureVar parameterize the Kalman filter. Defaults:
+	// 0.02 and 0.01 (relative QoS units).
+	ProcessVar, MeasureVar float64
+	// Margin is the control headroom: the controller regulates to
+	// Target*(1+Margin) so that quantum-level noise around the setpoint
+	// rarely crosses the QoS floor (default 0.08). Negative disables.
+	Margin float64
+	// Seed makes exploration deterministic.
+	Seed uint64
+	// Configs restricts the configuration space (nil = full space);
+	// used by the coarse-grain comparison.
+	Configs []vcore.Config
+
+	// GuardStyle selects the QoS-guard behaviour: 0 = off (default; the
+	// controller, snap learning and table rescaling recover QoS),
+	// GuardCommitted parks at the largest configuration until the
+	// target holds, GuardDemand escalates the demand for one quantum.
+	GuardStyle int
+	// ProbePeriod enables idle-tail probing of cheaper configurations
+	// every N quanta (0 = disabled, the default).
+	ProbePeriod int
+	// NoSnap disables snap-on-contradiction learning (ablation).
+	NoSnap bool
+	// RescaleMode couples the Kalman estimate to the learned table:
+	// 0 = deflate-only (default), 1 = both directions, 2 = off.
+	RescaleMode int
+
+	// DisableLearning freezes speedup estimates at their initial model
+	// (ablation: what the convex baseline effectively does).
+	DisableLearning bool
+	// DisableKalman replaces phase tracking with the first-sample base
+	// speed (ablation).
+	DisableKalman bool
+	// SingleConfig forces the whole quantum into the `over`
+	// configuration instead of the two-configuration schedule (ablation).
+	SingleConfig bool
+}
+
+// Runtime implements alloc.Allocator with the CASH control loop.
+type Runtime struct {
+	ctrl *control.Controller
+	est  *control.Estimator
+	opt  *qlearn.Optimizer
+	opts Options
+
+	name        string
+	lastSpeedup float64 // the controller's demand s(t)
+	lastPlanned float64 // the schedule's expected speedup (≤ demand at saturation)
+	iterations  int64
+	frozenBase  float64
+
+	// QoS guard state: consecutive quanta below/above the raw target,
+	// whether the guard holds the largest configuration, and how many
+	// escalations have fired.
+	misses     int
+	guardMode  bool
+	guardHits  int
+	Recoveries int64
+
+	// probeTick schedules idle-tail probes of cheaper configurations.
+	probeTick int64
+}
+
+// probeEvery is how often an idle tail is converted into a probe of the
+// most promising cheaper configuration. Probing costs a little rent but
+// is QoS-safe (the quantum's obligation is already met) and is what
+// lets the runtime discover that a phase has become easier — without
+// it, stale low estimates would keep the system parked on expensive
+// configurations after a heavy phase ends.
+// Guard styles.
+const (
+	GuardOff = iota
+	GuardCommitted
+	GuardDemand
+)
+
+// guardAfterMisses is how many consecutive under-target quanta trigger
+// the QoS guard: the next quantum runs the best-estimate configuration
+// outright, re-learning its QoS, instead of continuing to edge up
+// through configurations whose estimates are stale for the new phase.
+const guardAfterMisses = 2
+
+// New builds a runtime for the given QoS target and pricing model.
+func New(target float64, model cost.Model, opts Options) (*Runtime, error) {
+	if opts.Alpha == 0 {
+		opts.Alpha = qlearn.DefaultAlpha
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = qlearn.DefaultEpsilon
+	}
+	if opts.ProcessVar == 0 {
+		opts.ProcessVar = 0.02
+	}
+	if opts.MeasureVar == 0 {
+		opts.MeasureVar = 0.01
+	}
+	if opts.Margin == 0 {
+		opts.Margin = 0.08
+	}
+	if opts.Margin < 0 {
+		opts.Margin = 0
+	}
+	ctrl, err := control.NewController(target * (1 + opts.Margin))
+	if err != nil {
+		return nil, err
+	}
+	est, err := control.NewEstimator(opts.ProcessVar, opts.MeasureVar)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := opts.Configs
+	if cfgs == nil {
+		cfgs = vcore.Space()
+	}
+	opt, err := qlearn.NewRestricted(model, cfgs, opts.Alpha, opts.Epsilon, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableLearning {
+		// Freeze the optimizer at its smooth prior shape (the ablation
+		// equivalent of a convex model that was never calibrated).
+		opt.SetRelativeModel(qlearn.Prior)
+	}
+	opt.NoSnap = opts.NoSnap
+	return &Runtime{ctrl: ctrl, est: est, opt: opt, opts: opts, name: "CASH"}, nil
+}
+
+// MustNew is New for statically-valid arguments.
+func MustNew(target float64, model cost.Model, opts Options) *Runtime {
+	r, err := New(target, model, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SetName overrides the reported policy name (the convex baseline and
+// ablations reuse this runtime with different wiring).
+func (r *Runtime) SetName(name string) { r.name = name }
+
+// Name implements alloc.Allocator.
+func (r *Runtime) Name() string { return r.name }
+
+// Optimizer exposes the learning optimizer (for installing static
+// models and for tests).
+func (r *Runtime) Optimizer() *qlearn.Optimizer { return r.opt }
+
+// Estimator exposes the Kalman filter (for tests).
+func (r *Runtime) Estimator() *control.Estimator { return r.est }
+
+// Iterations returns how many control iterations have run.
+func (r *Runtime) Iterations() int64 { return r.iterations }
+
+// Speedup returns the most recent control signal s(t).
+func (r *Runtime) Speedup() float64 { return r.lastSpeedup }
+
+// Decide implements alloc.Allocator: one iteration of Algorithm 1.
+func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
+	r.iterations++
+
+	// Read current QoS: aggregate over the whole previous quantum,
+	// including idle time (the customer experiences wall-clock QoS).
+	// Probe tails replace idle time; their bonus work is excluded so
+	// the controller regulates the *intended* service level — counting
+	// it would make the integrator cut the next quantum's demand below
+	// the target.
+	var instrs, cycles int64
+	for _, ob := range prev {
+		if !ob.Probe {
+			instrs += ob.Instrs
+		}
+		cycles += ob.Cycles
+	}
+	var measured float64
+	if cycles > 0 {
+		measured = float64(instrs) / float64(cycles)
+	}
+
+	// Update the base-speed estimate from the speedup we applied, and
+	// shift the learned QoS table by the same factor: a phase change
+	// detected by the estimator instantly rescales every
+	// configuration's expectation (Eqn 7's normalization by q̂0).
+	// The coupling is asymmetric: when the base drops (phase got
+	// harder) the whole table deflates at once, because stale optimism
+	// violates QoS. When the base rises, estimates are left alone —
+	// inflating them would resurrect configurations that observations
+	// just falsified; idle-tail probes discover cheapening instead.
+	prevBase := r.est.Estimate()
+	base := r.updateBase(measured, cycles > 0)
+	if prevBase > 0 && base > 0 {
+		switch {
+		case r.opts.RescaleMode == 0 && base < prevBase:
+			r.opt.Rescale(base / prevBase)
+		case r.opts.RescaleMode == 1 && base != prevBase:
+			r.opt.Rescale(base / prevBase)
+		}
+	}
+
+	// Probe steps double as scale anchors: a probe's measured QoS over
+	// its prior shape is a direct reading of the application's current
+	// base speed, restoring identifiability when the control loop sits
+	// exactly on target (where the quantum-level Kalman innovation is
+	// zero by construction).
+	for _, ob := range prev {
+		if ob.Probe && ob.Cycles > 0 && ob.QoS > 0 {
+			r.est.Update(qlearn.Prior(ob.Config), ob.QoS)
+		}
+	}
+
+	// Learn from the per-configuration observations (before scheduling,
+	// so this quantum's decision uses this quantum's evidence). Idle
+	// sub-steps carry no information about any configuration, and steps
+	// that began with an L2 flush reflect cold-cache behaviour, not the
+	// configuration's steady state — the timestamped samples let the
+	// runtime discard them (§III-B2).
+	for _, ob := range prev {
+		if !ob.Idle && !ob.L2Changed && ob.Cycles > 0 {
+			r.opt.Observe(ob.Config, ob.QoS)
+		}
+	}
+	// Tell the optimizer which L2 the virtual core currently holds, so
+	// its schedules keep the cache warm unless switching clearly pays.
+	// Probe tails are not real tenancy and do not move stickiness.
+	for i := len(prev) - 1; i >= 0; i-- {
+		if !prev[i].Idle && !prev[i].Probe {
+			r.opt.StickyL2 = prev[i].Config.L2KB
+			break
+		}
+	}
+
+	// Controller: speedup demand, clamped to what the architecture can
+	// deliver (anti-windup: an unachievable demand would otherwise
+	// integrate without bound while the plant saturates).
+	speedup := r.ctrl.Update(measured, base)
+	demand := speedup * base
+	if base <= 0 {
+		demand = r.ctrl.Target
+	}
+	if limit := r.opt.MaxQoS(base) * 1.25; limit > 0 && demand > limit {
+		demand = limit
+		if base > 0 {
+			r.ctrl.Clamp(limit / base)
+		}
+	}
+	r.lastSpeedup = speedup
+
+	// QoS guard: persistent shortfall means the learned estimates are
+	// stale for the current phase. Escalate to the largest
+	// configuration and *stay there* until the target is met for two
+	// consecutive quanta — a big configuration's worth only shows once
+	// its cache warms, so single-quantum visits would measure cold
+	// performance, falsify the estimate, and wander off. While parked,
+	// observations (including the warm ones that matter) keep flowing
+	// into the optimizer, so on exit the estimates are current.
+	rawTarget := r.ctrl.Target / (1 + r.opts.Margin)
+	if cycles > 0 {
+		if measured < rawTarget {
+			r.misses++
+			r.guardHits = 0
+		} else {
+			r.misses = 0
+			r.guardHits++
+		}
+	}
+	if r.guardMode && r.guardHits >= 2 {
+		r.guardMode = false
+	}
+	if !r.guardMode && r.misses >= guardAfterMisses && r.opts.GuardStyle != GuardOff {
+		r.guardMode = true
+		r.misses = 0
+		r.Recoveries++
+	}
+	if r.guardMode {
+		if r.opts.GuardStyle == GuardDemand {
+			// Demand-only guard: ask for the best estimate this quantum.
+			r.guardMode = false
+			demand = r.opt.MaxQoS(base)
+		} else {
+			big := r.opt.Largest()
+			if base > 0 {
+				r.lastPlanned = r.opt.QoSEstimate(big, base) / base
+			} else {
+				r.lastPlanned = 1
+			}
+			r.lastSpeedup = r.lastPlanned
+			return alloc.Plan{Steps: []alloc.Step{{Config: big, MaxCycles: tau}}}
+		}
+	}
+
+	// Optimizer: minimal-cost schedule for the absolute demand.
+	sched := r.opt.Schedule(demand, base, tau)
+	if base > 0 {
+		r.lastPlanned = sched.ExpectedQoS / base
+	} else {
+		r.lastPlanned = 1
+	}
+	return r.planFrom(sched, tau, demand, base)
+}
+
+// updateBase advances the Kalman filter (or the ablated fixed estimate)
+// and returns b̂(t).
+func (r *Runtime) updateBase(measured float64, haveSample bool) float64 {
+	if !haveSample {
+		return r.est.Estimate()
+	}
+	applied := r.lastPlanned
+	if applied <= 0 {
+		// First quantum ran on whatever initial configuration the
+		// engine chose; approximate its speedup as 1 (the base).
+		applied = 1
+	}
+	if r.opts.DisableKalman {
+		if r.frozenBase == 0 && measured > 0 {
+			r.frozenBase = measured / applied
+		}
+		return r.frozenBase
+	}
+	return r.est.Update(applied, measured)
+}
+
+// planFrom converts an optimizer schedule into engine steps.
+func (r *Runtime) planFrom(s qlearn.Schedule, tau int64, demand, base float64) alloc.Plan {
+	if r.opts.SingleConfig {
+		return alloc.Plan{Steps: []alloc.Step{{Config: s.Over, MaxCycles: tau}}}
+	}
+	if s.Idle {
+		// Race the quantum's QoS obligation, then idle. Racing to the
+		// observed instruction count (rather than the planned cycle
+		// split) makes the quantum robust to estimate error.
+		obligation := int64(s.ExpectedQoS * float64(tau) * 1.02)
+		steps := []alloc.Step{{Config: s.Over, MaxCycles: tau, TargetInstrs: obligation}}
+		r.probeTick++
+		if r.opts.ProbePeriod > 0 && r.probeTick%int64(r.opts.ProbePeriod) == 0 {
+			// Probe only within the current L2 size: a cross-L2 probe
+			// would flush the warm cache the racing configuration paid
+			// for. Smaller L2 sizes are reached through the scale
+			// anchor the probe provides (see Decide) plus the
+			// hysteresis comparison in the optimizer.
+			filter := s.Over.L2KB
+			cheaper := r.opt.Rate(s.Over)
+			if cand, ok := r.opt.ProbeCandidate(demand, base, filter, cheaper); ok && cand != s.Over {
+				// Spend the tail measuring a cheaper configuration
+				// instead of idling.
+				steps = append(steps, alloc.Step{Config: cand, MaxCycles: tau, Probe: true})
+				return alloc.Plan{Steps: steps}
+			}
+		}
+		steps = append(steps, alloc.Step{Config: s.Over, MaxCycles: tau, Idle: true})
+		return alloc.Plan{Steps: steps}
+	}
+	var steps []alloc.Step
+	if s.TOver > 0 {
+		steps = append(steps, alloc.Step{Config: s.Over, MaxCycles: s.TOver})
+	}
+	if s.TUnder > 0 {
+		steps = append(steps, alloc.Step{Config: s.Under, MaxCycles: s.TUnder})
+	}
+	if len(steps) == 0 {
+		steps = []alloc.Step{{Config: s.Over, MaxCycles: tau}}
+	}
+	return alloc.Plan{Steps: steps}
+}
+
+// String describes the runtime's wiring, for reports.
+func (r *Runtime) String() string {
+	return fmt.Sprintf("%s(alpha=%.2f eps=%.2f learn=%v kalman=%v twoCfg=%v)",
+		r.name, r.opts.Alpha, r.opts.Epsilon,
+		!r.opts.DisableLearning, !r.opts.DisableKalman, !r.opts.SingleConfig)
+}

@@ -1,0 +1,176 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestControllerRejectsBadTarget(t *testing.T) {
+	if _, err := NewController(0); err == nil {
+		t.Error("zero target must fail")
+	}
+	if _, err := NewController(-1); err == nil {
+		t.Error("negative target must fail")
+	}
+}
+
+// plant simulates q = s*b: the system delivers speedup times base.
+func converge(t *testing.T, target, base float64, steps int) float64 {
+	t.Helper()
+	c, err := NewController(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 0.0
+	for i := 0; i < steps; i++ {
+		s := c.Update(q, base)
+		q = s * base
+	}
+	return q
+}
+
+func TestControllerConvergesOnLinearPlant(t *testing.T) {
+	q := converge(t, 0.5, 0.1, 6)
+	if math.Abs(q-0.5) > 0.01 {
+		t.Errorf("converged to %.3f, want 0.5", q)
+	}
+}
+
+func TestControllerDeadbeatIsFast(t *testing.T) {
+	// With an exact base estimate, the deadbeat design reaches the
+	// target in one step after bootstrap.
+	c, _ := NewController(1.0)
+	s := c.Update(0, 0.25) // bootstrap
+	q := s * 0.25
+	s = c.Update(q, 0.25)
+	if math.Abs(s*0.25-1.0) > 1e-9 {
+		t.Errorf("after one correction q = %v, want 1.0", s*0.25)
+	}
+}
+
+func TestControllerClamp(t *testing.T) {
+	c, _ := NewController(1.0)
+	for i := 0; i < 50; i++ {
+		c.Update(0.01, 0.01) // persistent shortfall integrates
+	}
+	if c.Speedup() < 10 {
+		t.Fatalf("integrator should have wound up, s=%v", c.Speedup())
+	}
+	c.Clamp(5)
+	if c.Speedup() != 5 {
+		t.Errorf("Clamp left s=%v", c.Speedup())
+	}
+	c.Clamp(10) // clamping above current state is a no-op
+	if c.Speedup() != 5 {
+		t.Error("Clamp must never raise the state")
+	}
+}
+
+func TestControllerNeverNegative(t *testing.T) {
+	c, _ := NewController(0.1)
+	for i := 0; i < 20; i++ {
+		if s := c.Update(10, 1); s < 0 {
+			t.Fatalf("speedup went negative: %v", s)
+		}
+	}
+}
+
+func TestControllerReset(t *testing.T) {
+	c, _ := NewController(1)
+	c.Update(0.5, 0.5)
+	c.Reset()
+	if c.Speedup() != 0 {
+		t.Error("Reset must clear the integrator")
+	}
+}
+
+func TestEstimatorRejectsBadVariances(t *testing.T) {
+	if _, err := NewEstimator(0, 1); err == nil {
+		t.Error("zero process variance must fail")
+	}
+	if _, err := NewEstimator(1, 0); err == nil {
+		t.Error("zero measurement variance must fail")
+	}
+}
+
+func TestKalmanConvergesToTrueBase(t *testing.T) {
+	e, _ := NewEstimator(0.02, 0.01)
+	trueB := 0.3
+	for i := 0; i < 30; i++ {
+		s := 1.0 + float64(i%3)
+		e.Update(s, s*trueB)
+	}
+	if math.Abs(e.Estimate()-trueB) > 0.01 {
+		t.Errorf("estimate %.4f, want %.4f", e.Estimate(), trueB)
+	}
+}
+
+func TestKalmanTracksPhaseStep(t *testing.T) {
+	e, _ := NewEstimator(0.02, 0.01)
+	for i := 0; i < 20; i++ {
+		e.Update(2, 2*0.4)
+	}
+	// Phase change: base halves. The estimate must follow within a
+	// handful of quanta (§IV-B: exponential convergence).
+	for i := 0; i < 10; i++ {
+		e.Update(2, 2*0.2)
+	}
+	if math.Abs(e.Estimate()-0.2) > 0.03 {
+		t.Errorf("estimate %.4f after phase step, want ~0.2", e.Estimate())
+	}
+}
+
+func TestKalmanConvergenceMonotoneQuick(t *testing.T) {
+	// Property: with noiseless measurements the absolute error never
+	// grows from one update to the next.
+	f := func(bRaw, sRaw uint8) bool {
+		b := 0.05 + float64(bRaw)/255.0
+		s := 0.5 + float64(sRaw%8)
+		e, _ := NewEstimator(0.02, 0.01)
+		e.Update(1, 0.5) // arbitrary start
+		prev := math.Abs(e.Estimate() - b)
+		for i := 0; i < 15; i++ {
+			e.Update(s, s*b)
+			cur := math.Abs(e.Estimate() - b)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKalmanIgnoresZeroSpeedup(t *testing.T) {
+	e, _ := NewEstimator(0.02, 0.01)
+	e.Update(2, 0.8)
+	before := e.Estimate()
+	e.Update(0, 123)
+	if e.Estimate() != before {
+		t.Error("zero applied speedup carries no information")
+	}
+}
+
+func TestKalmanNonNegative(t *testing.T) {
+	e, _ := NewEstimator(0.5, 0.01)
+	e.Update(1, 0.1)
+	for i := 0; i < 10; i++ {
+		e.Update(10, 0) // measured zero repeatedly
+	}
+	if e.Estimate() < 0 {
+		t.Errorf("estimate went negative: %v", e.Estimate())
+	}
+}
+
+func TestKalmanReset(t *testing.T) {
+	e, _ := NewEstimator(0.02, 0.01)
+	e.Update(1, 0.5)
+	e.Reset()
+	if e.Estimate() != 0 || e.ErrVar() != 0 {
+		t.Error("Reset must clear the filter")
+	}
+}

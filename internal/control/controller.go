@@ -1,0 +1,76 @@
+// Package control implements the control-theoretic half of the CASH
+// runtime (§IV-A, §IV-B): a deadbeat controller that converts QoS error
+// into a speedup demand, and a Kalman-filter estimator that tracks the
+// application's base speed across phases.
+package control
+
+import "fmt"
+
+// Controller is the deadbeat QoS controller of Eqns. 1–2:
+//
+//	e(t) = q0 − q(t)
+//	s(t) = s(t−1) + e(t)/b
+//
+// where b is the application's base QoS (its QoS on the minimal
+// configuration). A deadbeat design drives the error to zero as fast as
+// possible; the Kalman estimator (Estimator) supplies b̂(t) and corrects
+// the noise sensitivity that deadbeat control alone would have.
+type Controller struct {
+	// Target is the QoS requirement q0 (e.g. an IPC floor).
+	Target float64
+
+	speedup float64
+	started bool
+}
+
+// NewController returns a controller for the given QoS target.
+func NewController(target float64) (*Controller, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("control: QoS target %v must be positive", target)
+	}
+	return &Controller{Target: target}, nil
+}
+
+// Speedup returns the current control signal s(t).
+func (c *Controller) Speedup() float64 { return c.speedup }
+
+// Update consumes the measured QoS q(t) and the current base-speed
+// estimate b̂(t), and returns the new speedup demand s(t). The speedup
+// is clamped to be non-negative; the optimizer layer clamps it to what
+// the architecture can actually deliver.
+func (c *Controller) Update(measured, baseEstimate float64) float64 {
+	if baseEstimate <= 0 {
+		// No information about the application yet: demand the target
+		// as a pure ratio.
+		baseEstimate = 1
+	}
+	if !c.started {
+		// Bootstrap: ask for exactly the speedup that maps base speed
+		// to the target.
+		c.speedup = c.Target / baseEstimate
+		c.started = true
+		return c.speedup
+	}
+	err := c.Target - measured
+	c.speedup += err / baseEstimate
+	if c.speedup < 0 {
+		c.speedup = 0
+	}
+	return c.speedup
+}
+
+// Clamp caps the integrator state (anti-windup): when the plant
+// saturates — no configuration can deliver the demand — the stored
+// speedup must not keep integrating error, or recovery after the phase
+// passes would overshoot for many quanta.
+func (c *Controller) Clamp(limit float64) {
+	if c.speedup > limit {
+		c.speedup = limit
+	}
+}
+
+// Reset clears controller state (used when the workload changes).
+func (c *Controller) Reset() {
+	c.speedup = 0
+	c.started = false
+}

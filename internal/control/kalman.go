@@ -1,0 +1,78 @@
+package control
+
+import "fmt"
+
+// Estimator is the Kalman filter of Eqns. 3–4, tracking the
+// application's time-varying base speed b(t) — its QoS on the minimal
+// configuration — from observations of delivered QoS q(t) under known
+// applied speedup s(t):
+//
+//	b(t) = b(t−1) + δb(t)          (state: base speed drifts at phases)
+//	q(t) = s(t−1)·b(t−1) + δq(t)   (measurement)
+//
+// A phase change is a step in b; the filter's gain rises with the
+// innovation, so the estimate converges exponentially — worst-case
+// logarithmic in the inter-phase base-speed gap (§IV-B).
+type Estimator struct {
+	// ProcessVar is v(t), the assumed variance of base-speed drift per
+	// step. Larger values track phases faster but follow noise more.
+	ProcessVar float64
+	// MeasureVar is r, the QoS measurement noise — the only parameter
+	// the paper requires, treated as a property of the hardware.
+	MeasureVar float64
+
+	est     float64 // b̂(t)
+	errVar  float64 // E(t)
+	started bool
+}
+
+// NewEstimator builds the filter. processVar and measureVar must be
+// positive.
+func NewEstimator(processVar, measureVar float64) (*Estimator, error) {
+	if processVar <= 0 || measureVar <= 0 {
+		return nil, fmt.Errorf("control: Kalman variances must be positive (v=%v, r=%v)",
+			processVar, measureVar)
+	}
+	return &Estimator{ProcessVar: processVar, MeasureVar: measureVar}, nil
+}
+
+// Estimate returns the current a-posteriori base-speed estimate b̂(t).
+func (e *Estimator) Estimate() float64 { return e.est }
+
+// ErrVar returns the current a-posteriori error variance E(t).
+func (e *Estimator) ErrVar() float64 { return e.errVar }
+
+// Update consumes one (appliedSpeedup, measuredQoS) observation and
+// returns the new estimate. appliedSpeedup is s(t−1), the speedup the
+// system was actually configured for while measuredQoS accumulated.
+func (e *Estimator) Update(appliedSpeedup, measuredQoS float64) float64 {
+	if appliedSpeedup <= 0 {
+		return e.est
+	}
+	if !e.started {
+		// Initialize directly from the first observation.
+		e.est = measuredQoS / appliedSpeedup
+		e.errVar = e.MeasureVar
+		e.started = true
+		return e.est
+	}
+	// A-priori propagation.
+	pri := e.est
+	priVar := e.errVar + e.ProcessVar
+	// Gain and a-posteriori update (Eqn. 4).
+	s := appliedSpeedup
+	gain := priVar * s / (s*s*priVar + e.MeasureVar)
+	e.est = pri + gain*(measuredQoS-s*pri)
+	e.errVar = (1 - gain*s) * priVar
+	if e.est < 0 {
+		e.est = 0
+	}
+	return e.est
+}
+
+// Reset clears the filter.
+func (e *Estimator) Reset() {
+	e.est = 0
+	e.errVar = 0
+	e.started = false
+}

@@ -1,0 +1,91 @@
+// Package cost implements the CASH pricing model (§VI-B): IaaS
+// resources are rented at fine granularity with a linear price per unit
+// area, anchored so that the minimal configuration (1 Slice + 64KB L2)
+// costs what Amazon charged for a t2.micro ($0.013/hour).
+//
+// From the paper's Verilog-derived silicon areas, that anchor splits
+// into $0.0098/hour per Slice and $0.0032/hour per 64KB L2 bank. As the
+// paper stresses, absolute prices don't matter — all conclusions rest
+// on cost *ratios* between architectures and resource managers.
+package cost
+
+import (
+	"fmt"
+
+	"cash/internal/mem"
+	"cash/internal/vcore"
+)
+
+// Pricing constants, in dollars per hour.
+const (
+	// PerSliceHour is the rental price of one Slice.
+	PerSliceHour = 0.0098
+	// PerBankHour is the rental price of one 64KB L2 bank.
+	PerBankHour = 0.0032
+	// MinConfigHour is the anchor price of the minimal configuration,
+	// matching EC2 t2.micro on-demand pricing.
+	MinConfigHour = PerSliceHour + PerBankHour
+)
+
+// CyclesPerHour converts simulated cycles to rental time. We model the
+// fabric's clock at 1GHz; again, only ratios matter.
+const CyclesPerHour = 3600.0 * 1e9
+
+// Model prices virtual-core configurations. The zero value uses the
+// paper's constants; custom models support ablations (e.g. slice-heavy
+// or cache-heavy pricing).
+type Model struct {
+	// SliceHour and BankHour are $/hour per Slice and per 64KB bank.
+	// Zero values default to the paper's constants.
+	SliceHour, BankHour float64
+}
+
+// Default returns the paper's pricing model.
+func Default() Model { return Model{SliceHour: PerSliceHour, BankHour: PerBankHour} }
+
+func (m Model) normalized() Model {
+	if m.SliceHour == 0 {
+		m.SliceHour = PerSliceHour
+	}
+	if m.BankHour == 0 {
+		m.BankHour = PerBankHour
+	}
+	return m
+}
+
+// Rate returns the configuration's rental rate in $/hour.
+func (m Model) Rate(c vcore.Config) float64 {
+	n := m.normalized()
+	return float64(c.Slices)*n.SliceHour + float64(c.L2KB/mem.L2BankKB)*n.BankHour
+}
+
+// Charge returns the dollars charged for occupying configuration c for
+// the given number of cycles.
+func (m Model) Charge(c vcore.Config, cycles int64) float64 {
+	return m.Rate(c) * float64(cycles) / CyclesPerHour
+}
+
+// CheapestFirst returns the configuration space sorted by ascending
+// rate (ties broken toward fewer Slices). This is the search order used
+// by allocators that scan for the cheapest feasible configuration.
+func (m Model) CheapestFirst() []vcore.Config {
+	space := vcore.Space()
+	// Insertion sort keeps this dependency-free and the space is tiny.
+	for i := 1; i < len(space); i++ {
+		for j := i; j > 0; j-- {
+			ri, rj := m.Rate(space[j]), m.Rate(space[j-1])
+			if ri < rj || (ri == rj && space[j].Slices < space[j-1].Slices) {
+				space[j], space[j-1] = space[j-1], space[j]
+			} else {
+				break
+			}
+		}
+	}
+	return space
+}
+
+// String renders the model for reports.
+func (m Model) String() string {
+	n := m.normalized()
+	return fmt.Sprintf("$%.4f/Slice/hr + $%.4f/64KB/hr", n.SliceHour, n.BankHour)
+}

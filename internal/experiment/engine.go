@@ -1,0 +1,311 @@
+// Package experiment is the evaluation harness (§VI): it runs an
+// application on the simulated CASH fabric under a resource-allocation
+// policy, applies reconfiguration overheads, bills rental cost, and
+// records the cost/performance time series and QoS-violation counts
+// that every figure and table of the paper's evaluation is built from.
+package experiment
+
+import (
+	"fmt"
+
+	"cash/internal/alloc"
+	"cash/internal/cost"
+	"cash/internal/noc"
+	"cash/internal/perf"
+	"cash/internal/slice"
+	"cash/internal/ssim"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// Opts configure a run. Zero values select the defaults noted on each
+// field.
+type Opts struct {
+	// Tau is the control quantum in cycles (default 100_000).
+	Tau int64
+	// Target is the QoS requirement (IPC floor). Required.
+	Target float64
+	// Model prices configurations (default cost.Default()).
+	Model cost.Model
+	// SliceCfg is the Slice microarchitecture (default Table I).
+	SliceCfg slice.Config
+	// Policy is the instruction steering policy (default SteerEarliest).
+	Policy ssim.SteeringPolicy
+	// Initial is the starting configuration (default the minimal one).
+	Initial vcore.Config
+	// Tolerance is the QoS slack: a sample violates QoS when its IPC
+	// falls below Target*(1-Tolerance) (default 0.05).
+	Tolerance float64
+	// Seed drives the workload generator (default 42).
+	Seed uint64
+	// MaxQuanta bounds the run (default: until the workload finishes).
+	MaxQuanta int
+	// UsePerfNet routes QoS measurement through the CASH runtime
+	// interface network (perf-counter request/reply protocol) instead
+	// of reading simulator state directly (default true; set
+	// DisablePerfNet to turn off).
+	DisablePerfNet bool
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Tau == 0 {
+		o.Tau = 100_000
+	}
+	if o.Model == (cost.Model{}) {
+		o.Model = cost.Default()
+	}
+	if o.SliceCfg == (slice.Config{}) {
+		o.SliceCfg = slice.DefaultConfig()
+	}
+	if o.Initial == (vcore.Config{}) {
+		o.Initial = vcore.Min()
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Sample is one control quantum's outcome.
+type Sample struct {
+	// Cycle is the quantum's end time.
+	Cycle int64
+	// Config is the configuration occupying most of the quantum.
+	Config vcore.Config
+	// CostRate is the average $/hour over the quantum (idle time bills
+	// nothing).
+	CostRate float64
+	// QoS is the delivered IPC over the whole quantum, idle included.
+	QoS float64
+	// Violated marks QoS below target*(1-tolerance).
+	Violated bool
+	// Phase is the workload phase at quantum end.
+	Phase int
+	// Stall is reconfiguration stall cycles incurred in the quantum.
+	Stall int64
+}
+
+// Result is a completed run.
+type Result struct {
+	App       string
+	Allocator string
+	Target    float64
+	Tau       int64
+
+	Samples []Sample
+
+	TotalCost     float64
+	TotalCycles   int64
+	TotalInstrs   int64
+	Violations    int
+	ViolationRate float64
+	ReconfigCount int64
+	StallCycles   int64
+}
+
+// MeanCostRate returns the run's average $/hour.
+func (r Result) MeanCostRate() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return r.TotalCost / (float64(r.TotalCycles) / cost.CyclesPerHour)
+}
+
+// Run executes app under the policy until the workload completes.
+func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.Target <= 0 {
+		return Result{}, fmt.Errorf("experiment: QoS target must be positive")
+	}
+	sim, err := ssim.New(opts.Initial, opts.SliceCfg, opts.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := workload.NewGen(app, opts.Seed)
+	res := Result{App: app.Name, Allocator: policy.Name(), Target: opts.Target, Tau: opts.Tau}
+
+	var meter *perfMeter
+	if !opts.DisablePerfNet {
+		meter = newPerfMeter(sim)
+	}
+
+	var prev []alloc.Observation
+	quanta := 0
+	for !gen.Done() {
+		if opts.MaxQuanta > 0 && quanta >= opts.MaxQuanta {
+			break
+		}
+		quanta++
+		plan := policy.Decide(prev, opts.Tau)
+		if len(plan.Steps) == 0 {
+			plan.Steps = []alloc.Step{{Config: sim.Config(), MaxCycles: opts.Tau}}
+		}
+
+		prev = prev[:0]
+		qStart := sim.Cycle()
+		var qCost float64
+		var qStall int64
+		var qInstrs int64
+		remaining := opts.Tau // a plan never exceeds the control quantum
+		occupancy := map[vcore.Config]int64{}
+
+		for _, step := range plan.Steps {
+			if step.MaxCycles <= 0 || remaining <= 0 || gen.Done() {
+				continue
+			}
+			ob := alloc.Observation{Config: step.Config, Idle: step.Idle, Probe: step.Probe}
+			if step.Idle {
+				idle := step.MaxCycles
+				if idle > remaining {
+					idle = remaining
+				}
+				sim.AdvanceIdle(idle)
+				remaining -= idle
+				ob.Cycles = idle
+				// Idle time is free (§II-B's optimistic assumption,
+				// applied uniformly to every policy).
+			} else {
+				budget := step.MaxCycles
+				if budget > remaining {
+					budget = remaining
+				}
+				ob.L2Changed = step.Config.L2KB != sim.Config().L2KB
+				if step.Config != sim.Config() {
+					stall, err := sim.Reconfigure(step.Config)
+					if err != nil {
+						return Result{}, fmt.Errorf("experiment: reconfiguring to %s: %w", step.Config, err)
+					}
+					res.ReconfigCount++
+					qStall += stall
+					// The stall consumes the step's budget and is
+					// billed: the resources are held during the flush.
+					budget -= stall
+					remaining -= stall
+					qCost += opts.Model.Charge(step.Config, stall)
+					ob.Cycles += stall
+					if budget <= 0 {
+						prev = append(prev, obFinish(ob, gen))
+						continue
+					}
+				}
+				maxInstrs := step.TargetInstrs
+				if maxInstrs <= 0 {
+					maxInstrs = 1 << 62
+				}
+				startInstr := sim.Committed()
+				instrs, cycles := sim.RunBudget(gen, maxInstrs, budget)
+				if meter != nil {
+					// Cross-check the direct reading against the
+					// runtime interface network's sampled counters.
+					instrs = meter.measure(sim, startInstr, instrs)
+				}
+				remaining -= cycles
+				ob.Cycles += cycles
+				ob.Instrs = instrs
+				if cycles > 0 {
+					ob.QoS = float64(instrs) / float64(cycles)
+				}
+				qCost += opts.Model.Charge(step.Config, cycles)
+				qInstrs += instrs
+				occupancy[step.Config] += cycles
+			}
+			prev = append(prev, obFinish(ob, gen))
+		}
+
+		qCycles := sim.Cycle() - qStart
+		if qCycles == 0 {
+			continue
+		}
+		qos := float64(qInstrs) / float64(qCycles)
+		dominant := sim.Config()
+		var domCycles int64
+		for c, cyc := range occupancy {
+			if cyc > domCycles {
+				dominant, domCycles = c, cyc
+			}
+		}
+		s := Sample{
+			Cycle:    sim.Cycle(),
+			Config:   dominant,
+			CostRate: qCost / (float64(qCycles) / cost.CyclesPerHour),
+			QoS:      qos,
+			Violated: qos < opts.Target*(1-opts.Tolerance),
+			Phase:    gen.PhaseIndex(),
+			Stall:    qStall,
+		}
+		res.Samples = append(res.Samples, s)
+		res.TotalCost += qCost
+		res.TotalInstrs += qInstrs
+		res.StallCycles += qStall
+		if s.Violated {
+			res.Violations++
+		}
+	}
+	res.TotalCycles = sim.Cycle()
+	if len(res.Samples) > 0 {
+		res.ViolationRate = float64(res.Violations) / float64(len(res.Samples))
+	}
+	return res, nil
+}
+
+func obFinish(ob alloc.Observation, gen *workload.Gen) alloc.Observation {
+	ob.Phase = gen.PhaseIndex()
+	return ob
+}
+
+// perfMeter measures committed instructions through the CASH runtime
+// interface network: a monitor node issues timestamped counter requests
+// to every Slice and synthesizes the virtual-core view from the replies
+// (§III-B2). It exists so the evaluation exercises the paper's
+// hardware-software monitoring interface rather than peeking at
+// simulator internals; the direct reading is kept as a consistency
+// check.
+type perfMeter struct {
+	net     *noc.Network
+	monitor *perf.Monitor
+	nowFn   func() int64
+	now     int64
+	// Mismatches counts disagreements between the sampled and direct
+	// readings (should stay zero).
+	Mismatches int64
+}
+
+const monitorNode noc.NodeID = 1000
+
+func newPerfMeter(sim *ssim.Sim) *perfMeter {
+	m := &perfMeter{net: noc.NewCtrlNetwork()}
+	m.nowFn = func() int64 { return m.now }
+	// The runtime executes on a single-Slice virtual core adjacent to
+	// the client's tiles (§III-B1).
+	m.monitor = perf.NewMonitor(m.net, monitorNode, noc.Coord{X: 2, Y: -1})
+	return m
+}
+
+// measure samples all Slices over the network and returns the measured
+// committed-instruction delta for the step.
+func (m *perfMeter) measure(sim *ssim.Sim, startInstr, directInstrs int64) int64 {
+	m.now = sim.Cycle()
+	slices := sim.VCore().Slices()
+	targets := make([]noc.NodeID, 0, len(slices))
+	for _, sl := range slices {
+		sl := sl
+		perf.NewResponder(m.net, sl.ID, sl.Pos, sl, m.nowFn)
+		targets = append(targets, sl.ID)
+	}
+	if _, err := m.monitor.RequestAll(targets, m.now); err != nil {
+		return directInstrs
+	}
+	// Let requests and replies propagate.
+	m.net.DeliverUntil(m.now + 1_000)
+	samples := m.monitor.Drain()
+	agg := perf.SynthesizeVCore(samples)
+	measured := agg.Committed - startInstr
+	if measured != directInstrs {
+		m.Mismatches++
+		return directInstrs
+	}
+	return measured
+}

@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cash/internal/alloc"
+	"cash/internal/cost"
+	"cash/internal/ssim"
+	"cash/internal/workload"
+)
+
+// Server-mode experiment (Fig 9): an interactive server processes an
+// open-loop, oscillating request stream; QoS is request latency against
+// a cycles-per-request budget rather than IPC. The allocator sees
+// QoS(t) = targetLatency / currentLatency, so "1.0" means exactly
+// meeting the latency target and the generic controllers regulate it
+// like any other QoS signal.
+
+// ServerOpts configure a server run.
+type ServerOpts struct {
+	Opts
+	// Stream generates request arrivals.
+	Stream *workload.RequestStream
+	// TargetLatencyCycles is the per-request latency budget (the paper
+	// uses 110K cycles for apache).
+	TargetLatencyCycles int64
+	// Horizon ends the run after this many cycles.
+	Horizon int64
+}
+
+// ServerSample is one control quantum of a server run.
+type ServerSample struct {
+	Cycle int64
+	// RequestRate is the arrival rate over the quantum (requests per
+	// million cycles).
+	RequestRate float64
+	// Latency is the mean latency of requests completed in the quantum.
+	Latency float64
+	// NormLatency is Latency over the target (>1 = violating).
+	NormLatency float64
+	CostRate    float64
+	Violated    bool
+	Completed   int
+}
+
+// ServerResult is a completed server run.
+type ServerResult struct {
+	Allocator string
+	Samples   []ServerSample
+	TotalCost float64
+	// MeanLatency is over all completed requests.
+	MeanLatency   float64
+	Violations    int
+	ViolationRate float64
+	Served        int64
+}
+
+type request struct {
+	arrival   int64
+	remaining int64
+}
+
+// RunServer executes the apache experiment under a policy.
+func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
+	o := opts.Opts.withDefaults()
+	if opts.Stream == nil {
+		opts.Stream = workload.DefaultApacheStream()
+	}
+	if err := opts.Stream.Validate(); err != nil {
+		return ServerResult{}, err
+	}
+	if opts.TargetLatencyCycles <= 0 {
+		opts.TargetLatencyCycles = 110_000
+	}
+	if opts.Horizon <= 0 {
+		opts.Horizon = 240_000_000 // a few full load swings (Fig 9)
+	}
+	sim, err := ssim.New(o.Initial, o.SliceCfg, o.Policy)
+	if err != nil {
+		return ServerResult{}, err
+	}
+	opts.Stream.Reset()
+	phase := workload.RequestPhase(opts.Stream.InstrsPerRequest)
+	gen := workload.NewPhaseGen(phase, 0, o.Seed)
+
+	res := ServerResult{Allocator: policy.Name()}
+	var queue []request
+	nextArrival := opts.Stream.NextArrival()
+	var latencySum float64
+	var latencyN int64
+
+	// admit moves arrivals at or before the clock into the queue.
+	admit := func(now int64) {
+		for nextArrival <= now {
+			queue = append(queue, request{arrival: nextArrival, remaining: opts.Stream.InstrsPerRequest})
+			nextArrival = opts.Stream.NextArrival()
+		}
+	}
+
+	var prev []alloc.Observation
+	for sim.Cycle() < opts.Horizon {
+		plan := policy.Decide(prev, o.Tau)
+		if len(plan.Steps) == 0 {
+			plan.Steps = []alloc.Step{{Config: sim.Config(), MaxCycles: o.Tau}}
+		}
+		prev = prev[:0]
+		qStart := sim.Cycle()
+		var qCost float64
+		var qLatSum float64
+		var qLatN int
+		arrivalsBefore := opts.Stream.Issued()
+
+		remaining := o.Tau
+		for _, step := range plan.Steps {
+			if step.MaxCycles <= 0 || remaining <= 0 {
+				continue
+			}
+			budget := step.MaxCycles
+			if budget > remaining {
+				budget = remaining
+			}
+			ob := alloc.Observation{Config: step.Config, Idle: step.Idle, Probe: step.Probe}
+			if step.Idle {
+				// The server cannot idle with work queued; idle steps
+				// only skip genuinely empty time.
+				admit(sim.Cycle())
+				if len(queue) == 0 {
+					idle := budget
+					if nextArrival > sim.Cycle() && nextArrival-sim.Cycle() < idle {
+						idle = nextArrival - sim.Cycle()
+					}
+					sim.AdvanceIdle(idle)
+					remaining -= idle
+					ob.Cycles = idle
+				}
+				prev = append(prev, ob)
+				continue
+			}
+			ob.L2Changed = step.Config.L2KB != sim.Config().L2KB
+			if step.Config != sim.Config() {
+				stall, err := sim.Reconfigure(step.Config)
+				if err != nil {
+					return ServerResult{}, fmt.Errorf("experiment: server reconfiguring: %w", err)
+				}
+				budget -= stall
+				remaining -= stall
+				qCost += o.Model.Charge(step.Config, stall)
+				ob.Cycles += stall
+				if budget <= 0 {
+					prev = append(prev, ob)
+					continue
+				}
+			}
+			stepEnd := sim.Cycle() + budget
+			for sim.Cycle() < stepEnd {
+				admit(sim.Cycle())
+				if len(queue) == 0 {
+					// Empty queue: wait (free) for the next arrival.
+					idle := stepEnd - sim.Cycle()
+					if nextArrival-sim.Cycle() < idle {
+						idle = nextArrival - sim.Cycle()
+					}
+					if idle <= 0 {
+						idle = 1
+					}
+					sim.AdvanceIdle(idle)
+					remaining -= idle
+					continue
+				}
+				req := &queue[0]
+				n, c := sim.RunBudget(gen, req.remaining, stepEnd-sim.Cycle())
+				req.remaining -= n
+				remaining -= c
+				ob.Cycles += c
+				ob.Instrs += n
+				qCost += o.Model.Charge(step.Config, c)
+				if req.remaining <= 0 {
+					lat := float64(sim.Cycle() - req.arrival)
+					qLatSum += lat
+					qLatN++
+					latencySum += lat
+					latencyN++
+					res.Served++
+					queue = queue[1:]
+				}
+				if c == 0 && n == 0 {
+					break
+				}
+			}
+			if ob.Cycles > 0 {
+				// The allocator's QoS signal: latency budget over
+				// delivered latency (1.0 = on target).
+				if qLatN > 0 {
+					ob.QoS = float64(opts.TargetLatencyCycles) / (qLatSum / float64(qLatN))
+				} else {
+					ob.QoS = 1
+				}
+			}
+			prev = append(prev, ob)
+		}
+
+		qCycles := sim.Cycle() - qStart
+		if qCycles <= 0 {
+			// The plan made no progress (e.g. pure idle against an
+			// empty queue with a distant arrival): jump to the arrival.
+			sim.AdvanceIdle(nextArrival - sim.Cycle() + 1)
+			continue
+		}
+		lat := float64(opts.TargetLatencyCycles) // optimistic when nothing completed
+		if qLatN > 0 {
+			lat = qLatSum / float64(qLatN)
+		}
+		norm := lat / float64(opts.TargetLatencyCycles)
+		arr := float64(opts.Stream.Issued()-arrivalsBefore) / (float64(qCycles) / 1e6)
+		s := ServerSample{
+			Cycle:       sim.Cycle(),
+			RequestRate: arr,
+			Latency:     lat,
+			NormLatency: norm,
+			CostRate:    qCost / (float64(qCycles) / cost.CyclesPerHour),
+			Violated:    norm > 1+o.Tolerance,
+			Completed:   qLatN,
+		}
+		res.Samples = append(res.Samples, s)
+		res.TotalCost += qCost
+		if s.Violated {
+			res.Violations++
+		}
+	}
+	if latencyN > 0 {
+		res.MeanLatency = latencySum / float64(latencyN)
+	}
+	if len(res.Samples) > 0 {
+		res.ViolationRate = float64(res.Violations) / float64(len(res.Samples))
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package figs
+
+import (
+	"cash/internal/cashrt"
+	"cash/internal/experiment"
+	"cash/internal/ssim"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out by
+// re-running the x264 experiment with individual mechanisms disabled or
+// replaced. Each row reports cost relative to the oracle optimum and
+// the QoS violation rate.
+func (h *Harness) Ablations() error {
+	app, err := h.app("x264")
+	if err != nil {
+		return err
+	}
+	s, err := h.setup(app)
+	if err != nil {
+		return err
+	}
+
+	type variant struct {
+		name  string
+		opts  cashrt.Options
+		steer ssim.SteeringPolicy
+	}
+	base := cashrt.Options{Seed: h.Seed}
+	variants := []variant{
+		{"CASH (default)", base, ssim.SteerEarliest},
+		{"no learning (frozen prior)", with(base, func(o *cashrt.Options) { o.DisableLearning = true }), ssim.SteerEarliest},
+		{"no Kalman (fixed base)", with(base, func(o *cashrt.Options) { o.DisableKalman = true }), ssim.SteerEarliest},
+		{"single-config quanta", with(base, func(o *cashrt.Options) { o.SingleConfig = true }), ssim.SteerEarliest},
+		{"no snap updates", with(base, func(o *cashrt.Options) { o.NoSnap = true }), ssim.SteerEarliest},
+		{"rescale both directions", with(base, func(o *cashrt.Options) { o.RescaleMode = 1 }), ssim.SteerEarliest},
+		{"rescale off", with(base, func(o *cashrt.Options) { o.RescaleMode = 2 }), ssim.SteerEarliest},
+		{"committed QoS guard", with(base, func(o *cashrt.Options) { o.GuardStyle = cashrt.GuardCommitted }), ssim.SteerEarliest},
+		{"idle-tail probes (every 3)", with(base, func(o *cashrt.Options) { o.ProbePeriod = 3 }), ssim.SteerEarliest},
+		{"round-robin steering", base, ssim.SteerRoundRobin},
+	}
+
+	h.printf("Ablations on x264 (QoS target %.3f IPC, optimal cost $%.3g)\n\n", s.Target, s.OptCost)
+	h.printf("%-28s %-10s %-8s %s\n", "variant", "cost/opt", "viol%", "reconfigs")
+	for _, v := range variants {
+		rt := cashrt.MustNew(s.Target, h.Model, v.opts)
+		res, err := experiment.Run(s.App, rt, experiment.Opts{
+			Target:    s.Target,
+			Model:     h.Model,
+			Tolerance: 0.10,
+			Policy:    v.steer,
+		})
+		if err != nil {
+			return err
+		}
+		h.printf("%-28s %-10.2f %-8.1f %d\n",
+			v.name, res.TotalCost/s.OptCost, 100*res.ViolationRate, res.ReconfigCount)
+	}
+	h.Save()
+	return nil
+}
+
+func with(o cashrt.Options, f func(*cashrt.Options)) cashrt.Options {
+	f(&o)
+	return o
+}

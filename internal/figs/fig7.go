@@ -1,0 +1,183 @@
+package figs
+
+import (
+	"cash/internal/alloc"
+	"cash/internal/cashrt"
+	"cash/internal/stats"
+)
+
+// AppResult is one (application, allocator) outcome for the bar charts.
+type AppResult struct {
+	Cost          float64
+	ViolationRate float64
+}
+
+// Fig7Result collects Fig 7's full data: per-app cost and violation
+// rate for Optimal, ConvexOptimization, RaceToIdle and CASH.
+type Fig7Result struct {
+	Apps       []string
+	Allocators []string
+	// Data[allocator][app]
+	Data map[string]map[string]AppResult
+}
+
+// Geomeans returns the geometric-mean cost per allocator (Table III's
+// first column).
+func (r Fig7Result) Geomeans() map[string]float64 {
+	out := make(map[string]float64, len(r.Allocators))
+	for _, a := range r.Allocators {
+		vals := make([]float64, 0, len(r.Apps))
+		for _, app := range r.Apps {
+			vals = append(vals, r.Data[a][app].Cost)
+		}
+		out[a] = stats.Geomean(vals)
+	}
+	return out
+}
+
+// fig7Allocators is the comparison set of §VI-C in figure order.
+var fig7Allocators = []string{"Optimal", "ConvexOptimization", "RaceToIdle", "CASH"}
+
+// Fig7 regenerates Fig 7: total cost and QoS violations for the whole
+// 13-application suite under the four fine-grain resource allocators.
+// The Optimal row is the oracle's analytic minimum (zero violations by
+// construction, §V-C).
+func (h *Harness) Fig7() (Fig7Result, error) {
+	res := Fig7Result{
+		Allocators: fig7Allocators,
+		Data:       make(map[string]map[string]AppResult),
+	}
+	for _, a := range res.Allocators {
+		res.Data[a] = make(map[string]AppResult)
+	}
+
+	h.printf("Figure 7: cost and QoS violations per application (lower is better)\n\n")
+	h.printf("%-12s %-10s | %-22s | %-22s | %-22s\n",
+		"app", "Optimal $", "Convex $ (viol%)", "RaceToIdle $ (viol%)", "CASH $ (viol%)")
+	for _, app := range h.apps() {
+		s, err := h.setup(app)
+		if err != nil {
+			return res, err
+		}
+		res.Apps = append(res.Apps, app.Name)
+		res.Data["Optimal"][app.Name] = AppResult{Cost: s.OptCost}
+
+		cvx, err := h.convexAllocator(s)
+		if err != nil {
+			return res, err
+		}
+		runs := []struct {
+			key    string
+			policy alloc.Allocator
+		}{
+			{"ConvexOptimization", cvx},
+			{"RaceToIdle", s.WorstCase},
+			{"CASH", h.cashAllocator(s.Target)},
+		}
+		for _, r := range runs {
+			out, err := h.run(s, r.policy)
+			if err != nil {
+				return res, err
+			}
+			res.Data[r.key][app.Name] = AppResult{
+				Cost:          out.TotalCost,
+				ViolationRate: out.ViolationRate,
+			}
+		}
+		h.printf("%-12s %-10.3g | %8.3g (%5.1f%%)      | %8.3g (%5.1f%%)      | %8.3g (%5.1f%%)\n",
+			app.Name, s.OptCost,
+			res.Data["ConvexOptimization"][app.Name].Cost, 100*res.Data["ConvexOptimization"][app.Name].ViolationRate,
+			res.Data["RaceToIdle"][app.Name].Cost, 100*res.Data["RaceToIdle"][app.Name].ViolationRate,
+			res.Data["CASH"][app.Name].Cost, 100*res.Data["CASH"][app.Name].ViolationRate)
+		h.Save()
+	}
+
+	gm := res.Geomeans()
+	h.printf("\n%-12s %-10.3g | %8.3g               | %8.3g               | %8.3g\n",
+		"geomean", gm["Optimal"], gm["ConvexOptimization"], gm["RaceToIdle"], gm["CASH"])
+	return res, nil
+}
+
+// Table3 regenerates Table III: geometric-mean cost and ratio to
+// optimal per allocator.
+func (h *Harness) Table3(res Fig7Result) {
+	gm := res.Geomeans()
+	opt := gm["Optimal"]
+	h.printf("\nTable III: cost comparison for different resource allocators\n")
+	h.printf("%-22s %-16s %s\n", "", "Geometric Mean", "Ratio to Optimal")
+	order := []string{"Optimal", "ConvexOptimization", "RaceToIdle", "CASH"}
+	for _, a := range order {
+		ratio := 0.0
+		if opt > 0 {
+			ratio = gm[a] / opt
+		}
+		h.printf("%-22s $%-15.4g %.2f\n", a, gm[a], ratio)
+	}
+}
+
+// Fig10 regenerates Fig 10 (§VI-E): the 13 applications on combinations
+// of coarse- and fine-grain architectures with race-to-idle and
+// adaptive management. The coarse-grain machine offers only a big core
+// (8 Slices, 4MB) and a little core (1 Slice, 128KB).
+func (h *Harness) Fig10() (Fig7Result, error) {
+	big, _ := cashrt.BigLittle()
+	res := Fig7Result{
+		Allocators: []string{"CoarseGrain,race", "CoarseGrain,adaptive", "FineGrain,race", "CASH"},
+		Data:       make(map[string]map[string]AppResult),
+	}
+	for _, a := range res.Allocators {
+		res.Data[a] = make(map[string]AppResult)
+	}
+
+	h.printf("Figure 10: coarse vs fine grain architectures and allocators (lower is better)\n\n")
+	h.printf("%-12s | %-20s | %-20s | %-20s | %-20s\n",
+		"app", "Coarse,race", "Coarse,adapt", "Fine,race", "CASH")
+	for _, app := range h.apps() {
+		s, err := h.setup(app)
+		if err != nil {
+			return res, err
+		}
+		res.Apps = append(res.Apps, app.Name)
+
+		coarseAdaptive, err := cashrt.NewCoarseAdaptive(s.Target, h.Model, h.Seed)
+		if err != nil {
+			return res, err
+		}
+		runs := []struct {
+			key    string
+			policy alloc.Allocator
+		}{
+			// Coarse-grain race-to-idle cannot change core type: it
+			// holds the big core and idles (§VI-E).
+			{"CoarseGrain,race", alloc.RaceToIdle{WorstCase: big, TargetQoS: s.Target}},
+			{"CoarseGrain,adaptive", coarseAdaptive},
+			{"FineGrain,race", s.WorstCase},
+			{"CASH", h.cashAllocator(s.Target)},
+		}
+		for _, r := range runs {
+			out, err := h.run(s, r.policy)
+			if err != nil {
+				return res, err
+			}
+			res.Data[r.key][app.Name] = AppResult{
+				Cost:          out.TotalCost,
+				ViolationRate: out.ViolationRate,
+			}
+		}
+		h.printf("%-12s | %8.3g (%5.1f%%)   | %8.3g (%5.1f%%)   | %8.3g (%5.1f%%)   | %8.3g (%5.1f%%)\n",
+			app.Name,
+			res.Data["CoarseGrain,race"][app.Name].Cost, 100*res.Data["CoarseGrain,race"][app.Name].ViolationRate,
+			res.Data["CoarseGrain,adaptive"][app.Name].Cost, 100*res.Data["CoarseGrain,adaptive"][app.Name].ViolationRate,
+			res.Data["FineGrain,race"][app.Name].Cost, 100*res.Data["FineGrain,race"][app.Name].ViolationRate,
+			res.Data["CASH"][app.Name].Cost, 100*res.Data["CASH"][app.Name].ViolationRate)
+		h.Save()
+	}
+
+	gm := res.Geomeans()
+	h.printf("\n%-12s | %8.3g            | %8.3g            | %8.3g            | %8.3g\n",
+		"geomean", gm["CoarseGrain,race"], gm["CoarseGrain,adaptive"], gm["FineGrain,race"], gm["CASH"])
+	if cg := gm["CoarseGrain,race"]; cg > 0 {
+		h.printf("CASH saving vs CoarseGrain,race: %.0f%%\n", 100*(1-gm["CASH"]/cg))
+	}
+	return res, nil
+}

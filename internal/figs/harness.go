@@ -1,0 +1,149 @@
+// Package figs regenerates every table and figure of the paper's
+// evaluation (§II and §VI). Each experiment is a method on Harness that
+// prints the same rows/series the paper reports; cmd/cashsim and the
+// repository's benchmark suite are thin wrappers around this package.
+package figs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cash/internal/alloc"
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/oracle"
+	"cash/internal/workload"
+)
+
+// Harness runs the evaluation. Scale shrinks workloads for quick runs
+// (1.0 = the full evaluation).
+type Harness struct {
+	DB    *oracle.DB
+	Model cost.Model
+	Out   io.Writer
+	// Scale multiplies workload lengths (default 1.0).
+	Scale float64
+	// Seed drives the CASH runtime's exploration.
+	Seed uint64
+	// CachePath persists the oracle characterisation ("" = default
+	// location; "-" disables persistence).
+	CachePath string
+}
+
+// New builds a harness writing to out, loading any cached
+// characterisation data.
+func New(out io.Writer) *Harness {
+	h := &Harness{
+		DB:        oracle.NewDB(),
+		Model:     cost.Default(),
+		Out:       out,
+		Scale:     1.0,
+		Seed:      7,
+		CachePath: oracle.DefaultCachePath(),
+	}
+	if h.CachePath != "-" {
+		// Cache load failures only cost re-simulation.
+		_ = h.DB.LoadCache(h.CachePath)
+	}
+	return h
+}
+
+// Save persists the characterisation cache.
+func (h *Harness) Save() {
+	if h.CachePath != "-" {
+		_ = h.DB.SaveCache(h.CachePath)
+	}
+}
+
+func (h *Harness) printf(format string, args ...any) {
+	fmt.Fprintf(h.Out, format, args...)
+}
+
+// app returns a workload scaled for this harness.
+func (h *Harness) app(name string) (workload.App, error) {
+	a, ok := workload.ByName(name)
+	if !ok {
+		return workload.App{}, fmt.Errorf("figs: unknown application %q", name)
+	}
+	if h.Scale != 1.0 {
+		a = a.Scale(h.Scale)
+	}
+	return a, nil
+}
+
+// apps returns the full scaled suite.
+func (h *Harness) apps() []workload.App {
+	out := workload.Apps()
+	if h.Scale != 1.0 {
+		for i := range out {
+			out[i] = out[i].Scale(h.Scale)
+		}
+	}
+	return out
+}
+
+// characterize sweeps an app and persists the cache.
+func (h *Harness) characterize(app workload.App) {
+	start := time.Now()
+	h.DB.CharacterizeApp(app)
+	if d := time.Since(start); d > time.Second {
+		h.printf("# characterized %s (%v)\n", app.Name, d.Round(time.Millisecond))
+		h.Save()
+	}
+}
+
+// setup computes the per-app experimental frame shared by Fig 2/7/8/10
+// and Table III.
+type appSetup struct {
+	App       workload.App
+	Target    float64
+	OptCost   float64
+	WorstCase alloc.RaceToIdle
+	Oracle    *alloc.OraclePolicy
+}
+
+func (h *Harness) setup(app workload.App) (appSetup, error) {
+	h.characterize(app)
+	target := h.DB.QoSTarget(app)
+	optCost, err := h.DB.OptimalCost(app, target, h.Model)
+	if err != nil {
+		return appSetup{}, err
+	}
+	wc, err := h.DB.WorstCaseConfig(app, target, h.Model)
+	if err != nil {
+		return appSetup{}, err
+	}
+	perPhase, phaseQoS, err := h.DB.BestPerPhase(app, target, h.Model)
+	if err != nil {
+		return appSetup{}, err
+	}
+	return appSetup{
+		App:       app,
+		Target:    target,
+		OptCost:   optCost,
+		WorstCase: alloc.RaceToIdle{WorstCase: wc, TargetQoS: target},
+		Oracle:    &alloc.OraclePolicy{PerPhase: perPhase, PhaseQoS: phaseQoS, TargetQoS: target},
+	}, nil
+}
+
+// run executes one (app, allocator) experiment with the harness
+// defaults.
+func (h *Harness) run(s appSetup, policy alloc.Allocator) (experiment.Result, error) {
+	return experiment.Run(s.App, policy, experiment.Opts{
+		Target:    s.Target,
+		Model:     h.Model,
+		Tolerance: 0.10,
+	})
+}
+
+// cashAllocator builds the default CASH runtime for a target.
+func (h *Harness) cashAllocator(target float64) *cashrt.Runtime {
+	return cashrt.MustNew(target, h.Model, cashrt.Options{Seed: h.Seed})
+}
+
+// convexAllocator builds the convex baseline for an app.
+func (h *Harness) convexAllocator(s appSetup) (*cashrt.Runtime, error) {
+	return cashrt.NewConvex(s.Target, h.Model, h.DB.AvgSpeedup(s.App))
+}

@@ -1,0 +1,184 @@
+package figs
+
+import (
+	"cash/internal/alloc"
+	"cash/internal/cashrt"
+	"cash/internal/experiment"
+	"cash/internal/qlearn"
+	"cash/internal/stats"
+	"cash/internal/vcore"
+)
+
+// calibrateServerProvision finds the cheapest static configuration that
+// keeps the apache latency target with almost no violations — the
+// worst-case provision race-to-idle is granted.
+func (h *Harness) calibrateServerProvision(mkOpts func() experiment.ServerOpts) (vcore.Config, error) {
+	var lastErr error
+	for _, cfg := range h.Model.CheapestFirst() {
+		// Skip clearly-undersized configurations to bound calibration
+		// time: a single request must at least fit the latency budget.
+		if cfg.Slices < 2 {
+			continue
+		}
+		opts := mkOpts()
+		opts.Horizon /= 4
+		res, err := experiment.RunServer(alloc.Static{Cfg: cfg}, opts)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if res.ViolationRate < 0.02 {
+			return cfg, nil
+		}
+	}
+	if lastErr != nil {
+		return vcore.Config{}, lastErr
+	}
+	return vcore.Max(), nil
+}
+
+// timeSeries renders the cost-rate and normalized-performance series of
+// several allocators on one application — the machinery behind Fig 2
+// (Optimal vs Race-to-Idle vs ConvexOptimization) and Fig 8 (the same
+// with CASH).
+func (h *Harness) timeSeries(s appSetup, policies []alloc.Allocator, width int) error {
+	names := make([]string, 0, len(policies))
+	costSeries := make([][]float64, 0, len(policies))
+	perfSeries := make([][]float64, 0, len(policies))
+	for _, p := range policies {
+		res, err := h.run(s, p)
+		if err != nil {
+			return err
+		}
+		names = append(names, p.Name())
+		cr := make([]float64, len(res.Samples))
+		pf := make([]float64, len(res.Samples))
+		for i, sm := range res.Samples {
+			cr[i] = sm.CostRate
+			pf[i] = sm.QoS / s.Target
+		}
+		costSeries = append(costSeries, stats.Resample(cr, width))
+		perfSeries = append(perfSeries, stats.Resample(pf, width))
+		h.printf("# %-20s total=$%.3g (%.2fx optimal)  violations=%.1f%%  cycles=%.0fM\n",
+			p.Name(), res.TotalCost, res.TotalCost/s.OptCost,
+			100*res.ViolationRate, float64(res.TotalCycles)/1e6)
+	}
+	h.printf("\nCost Rate ($/hour) vs time:\n%s\n",
+		stats.RenderSeries(names, costSeries, 12))
+	h.printf("Normalized Performance (1.0 = QoS target) vs time:\n%s\n",
+		stats.RenderSeries(names, perfSeries, 12))
+	return nil
+}
+
+// Fig2 regenerates the motivational comparison of §II-B: optimal,
+// race-to-idle and convex-optimization resource allocation on x264.
+func (h *Harness) Fig2() error {
+	app, err := h.app("x264")
+	if err != nil {
+		return err
+	}
+	s, err := h.setup(app)
+	if err != nil {
+		return err
+	}
+	cvx, err := h.convexAllocator(s)
+	if err != nil {
+		return err
+	}
+	h.printf("Figure 2: fine-grain resource allocators on x264 (QoS target %.3f IPC)\n\n", s.Target)
+	err = h.timeSeries(s, []alloc.Allocator{s.Oracle, s.WorstCase, cvx}, 96)
+	h.Save()
+	return err
+}
+
+// Fig8 regenerates the x264 time series of §VI-D: convex optimization,
+// race-to-idle and CASH.
+func (h *Harness) Fig8() error {
+	app, err := h.app("x264")
+	if err != nil {
+		return err
+	}
+	s, err := h.setup(app)
+	if err != nil {
+		return err
+	}
+	cvx, err := h.convexAllocator(s)
+	if err != nil {
+		return err
+	}
+	h.printf("Figure 8: time series for x264 (QoS target %.3f IPC)\n\n", s.Target)
+	err = h.timeSeries(s, []alloc.Allocator{cvx, s.WorstCase, h.cashAllocator(s.Target)}, 96)
+	h.Save()
+	return err
+}
+
+// Fig9 regenerates the apache experiment of §VI-D: an oscillating
+// open-loop request stream with a per-request latency QoS (110K cycles).
+func (h *Harness) Fig9() error {
+	h.printf("Figure 9: apache under an oscillating request load (QoS: 110K cycles/request)\n\n")
+
+	serverOpts := func() experiment.ServerOpts {
+		o := experiment.ServerOpts{TargetLatencyCycles: 110_000}
+		o.Opts.Tolerance = 0.10
+		o.Opts.Model = h.Model
+		if h.Scale != 1.0 {
+			o.Horizon = int64(240_000_000 * h.Scale)
+		}
+		return o
+	}
+
+	// The latency-QoS controllers regulate q = targetLat/latency toward
+	// 1.0. The race-to-idle server provisions the cheapest configuration
+	// that holds the latency target at peak load, found by calibration
+	// (the a-priori knowledge the paper grants race-to-idle).
+	provision, err := h.calibrateServerProvision(serverOpts)
+	if err != nil {
+		return err
+	}
+	h.printf("# race-to-idle provision: %s\n", provision)
+	cvx, err := cashrt.NewConvex(1.0, h.Model, qlearn.Prior)
+	if err != nil {
+		return err
+	}
+	// Server QoS is a latency ratio, not a throughput: the batch
+	// runtime's race-to-obligation plans are meaningless here, so the
+	// CASH server variant uses whole-quantum configurations with the
+	// demand-escalation guard and extra control headroom.
+	policies := []alloc.Allocator{
+		alloc.RaceToIdle{WorstCase: provision, TargetQoS: 1.0},
+		cvx,
+		cashrt.MustNew(1.0, h.Model, cashrt.Options{
+			Seed: h.Seed, SingleConfig: true, GuardStyle: cashrt.GuardCommitted, Margin: 0.15,
+		}),
+	}
+
+	names := make([]string, 0, len(policies))
+	var rateS, costS, latS [][]float64
+	for _, p := range policies {
+		res, err := experiment.RunServer(p, serverOpts())
+		if err != nil {
+			return err
+		}
+		names = append(names, p.Name())
+		rr := make([]float64, len(res.Samples))
+		cr := make([]float64, len(res.Samples))
+		nl := make([]float64, len(res.Samples))
+		for i, sm := range res.Samples {
+			rr[i] = sm.RequestRate
+			cr[i] = sm.CostRate
+			nl[i] = sm.NormLatency
+		}
+		rateS = append(rateS, stats.Resample(rr, 96))
+		costS = append(costS, stats.Resample(cr, 96))
+		latS = append(latS, stats.Resample(nl, 96))
+		h.printf("# %-20s total=$%.3g  mean latency=%.0f cycles  violations=%.1f%%  served=%d\n",
+			p.Name(), res.TotalCost, res.MeanLatency, 100*res.ViolationRate, res.Served)
+	}
+	h.printf("\nRequest Rate (reqs per Mcycle) vs time:\n%s\n",
+		stats.RenderSeries(names[:1], rateS[:1], 8))
+	h.printf("Cost Rate ($/hour) vs time:\n%s\n", stats.RenderSeries(names, costS, 12))
+	h.printf("Normalized Request Latency (1.0 = target) vs time:\n%s\n",
+		stats.RenderSeries(names, latS, 12))
+	h.Save()
+	return nil
+}

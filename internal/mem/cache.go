@@ -1,0 +1,269 @@
+// Package mem implements the CASH memory hierarchy: set-associative
+// L1 instruction/data caches, the composable banked L2, and the main
+// memory timing constants (Table II of the paper).
+//
+// Caches here are real tag arrays with LRU replacement and dirty-line
+// tracking, not hit-rate formulas: the simulator feeds them the
+// workload's actual address stream, so capacity and conflict behaviour
+// — and therefore the shape of the configuration space — emerge rather
+// than being assumed. Dirty-line tracking also drives the L2
+// reconfiguration flush cost of §VI-A.
+package mem
+
+import "fmt"
+
+// Table II constants.
+const (
+	// BlockBytes is the line size at every level.
+	BlockBytes = 64
+	// L1SizeKB and L1Assoc describe both L1I and L1D.
+	L1SizeKB = 16
+	L1Assoc  = 2
+	// L1HitDelay is the L1 access latency in cycles.
+	L1HitDelay = 3
+	// L2BankKB is the capacity of one composable L2 bank.
+	L2BankKB = 64
+	// L2Assoc is the associativity of each L2 bank.
+	L2Assoc = 4
+	// MemDelay is the main-memory access latency in cycles (Table I).
+	MemDelay = 100
+	// NetworkWidthBytes is the flit width of the on-chip data networks;
+	// it sets the dirty-line flush bandwidth during reconfiguration
+	// (§VI-A: a full 64KB bank flush takes 64KB/8B = 8000 cycles).
+	NetworkWidthBytes = 8
+)
+
+// L2HitDelay returns the L2 hit latency for a bank at the given
+// Manhattan distance from the requesting Slice (Table II:
+// "distance*2+4").
+func L2HitDelay(distance int) int { return distance*2 + 4 }
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// MissRate returns misses per access, or 0 if there were no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	sizeKB     int
+	assoc      int
+	sets       int
+	setMask    uint64
+	blockShift uint
+	tagShift   uint
+
+	// Per-line metadata, indexed [set*assoc + way].
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	age   []uint8 // LRU age within the set: 0 = most recent
+
+	stats Stats
+}
+
+// NewCache builds a cache of sizeKB kilobytes with the given
+// associativity and the global 64-byte block size. Size must yield a
+// power-of-two number of sets.
+func NewCache(sizeKB, assoc int) (*Cache, error) {
+	if sizeKB <= 0 || assoc <= 0 {
+		return nil, fmt.Errorf("mem: invalid cache geometry %dKB/%d-way", sizeKB, assoc)
+	}
+	lines := sizeKB * 1024 / BlockBytes
+	if lines%assoc != 0 {
+		return nil, fmt.Errorf("mem: %dKB is not divisible into %d-way sets", sizeKB, assoc)
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: %dKB/%d-way yields non-power-of-two set count %d", sizeKB, assoc, sets)
+	}
+	c := &Cache{
+		sizeKB:     sizeKB,
+		assoc:      assoc,
+		sets:       sets,
+		setMask:    uint64(sets - 1),
+		blockShift: blockShift(),
+		tagShift:   uint(log2(sets)),
+		tags:       make([]uint64, lines),
+		valid:      make([]bool, lines),
+		dirty:      make([]bool, lines),
+		age:        make([]uint8, lines),
+	}
+	return c, nil
+}
+
+// MustCache is NewCache for statically-known-good geometries.
+func MustCache(sizeKB, assoc int) *Cache {
+	c, err := NewCache(sizeKB, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func blockShift() uint {
+	s := uint(0)
+	for 1<<s < BlockBytes {
+		s++
+	}
+	return s
+}
+
+// SizeKB returns the cache capacity.
+func (c *Cache) SizeKB() int { return c.sizeKB }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access looks the address up, allocating on miss. write marks the line
+// dirty. It reports whether the access hit and whether a dirty line was
+// evicted (a writeback).
+func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
+	c.stats.Accesses++
+	block := addr >> c.blockShift
+	set := int(block & c.setMask)
+	tag := block >> c.tagShift
+	base := set * c.assoc
+
+	// Probe.
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stats.Hits++
+			c.touch(base, w)
+			if write {
+				c.dirty[i] = true
+			}
+			return true, false
+		}
+	}
+
+	// Miss: pick the victim (invalid way first, else LRU).
+	c.stats.Misses++
+	victim := -1
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		oldest := uint8(0)
+		for w := 0; w < c.assoc; w++ {
+			if a := c.age[base+w]; a >= oldest {
+				oldest = a
+				victim = w
+			}
+		}
+	}
+	i := base + victim
+	writeback = c.valid[i] && c.dirty[i]
+	if writeback {
+		c.stats.Writebacks++
+	}
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.touch(base, victim)
+	return false, writeback
+}
+
+// Contains reports whether the address's block is resident, without
+// perturbing LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	block := addr >> c.blockShift
+	set := int(block & c.setMask)
+	tag := block >> c.tagShift
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// touch makes way w the most recently used in its set. Ways whose age
+// ties or trails the touched way's move one step older, so ages stay a
+// strict recency order even from the all-zero initial state.
+func (c *Cache) touch(base, w int) {
+	cur := c.age[base+w]
+	for k := 0; k < c.assoc; k++ {
+		if k != w && c.age[base+k] <= cur {
+			c.age[base+k]++
+		}
+	}
+	c.age[base+w] = 0
+}
+
+// DirtyLines returns the number of resident dirty lines.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for i, v := range c.valid {
+		if v && c.dirty[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidLines returns the number of resident lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates the whole cache and returns the number of dirty
+// lines that had to be written back. The flush cost in cycles is
+// dirtyLines*BlockBytes/NetworkWidthBytes (see FlushCycles).
+func (c *Cache) Flush() (dirtyLines int) {
+	for i := range c.valid {
+		if c.valid[i] && c.dirty[i] {
+			dirtyLines++
+			c.stats.Writebacks++
+		}
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.age[i] = 0
+	}
+	return dirtyLines
+}
+
+// FlushCycles converts a dirty-line count into the cycles needed to
+// push the lines across the memory network (§VI-A).
+func FlushCycles(dirtyLines int) int64 {
+	return int64(dirtyLines) * BlockBytes / NetworkWidthBytes
+}
+
+func log2(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}

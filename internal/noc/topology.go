@@ -1,0 +1,65 @@
+// Package noc models the CASH chip's switched on-chip networks: the
+// 2-D mesh topology shared by the Slice/cache fabric (Fig 3), hop-based
+// latency for the scalar operand network and the L1/L2 crossbar, and
+// the CASH Runtime Interface Network — the paper's novel
+// request/reply network that lets the runtime read performance counters
+// on, and send EXPAND/SHRINK commands to, remote Slices (§III-B2).
+package noc
+
+import "fmt"
+
+// Coord is a tile position in the 2-D fabric.
+type Coord struct {
+	X, Y int
+}
+
+// String renders "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Manhattan returns the hop distance between two tiles under
+// dimension-ordered mesh routing.
+func Manhattan(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Latency constants for the switched interconnects. The operand network
+// is the fast path (register-to-register forwarding between Slices,
+// §III-B1); the runtime interface network is a narrow control network
+// and pays a router pipeline on top of the hop cost.
+const (
+	// OperandRouterDelay is the per-message fixed cost of the scalar
+	// operand network.
+	OperandRouterDelay = 1
+	// OperandHopDelay is the per-hop cost of the scalar operand network.
+	OperandHopDelay = 1
+	// CtrlRouterDelay is the fixed cost of the runtime interface network.
+	CtrlRouterDelay = 3
+	// CtrlHopDelay is the per-hop cost of the runtime interface network.
+	CtrlHopDelay = 1
+)
+
+// OperandLatency is the scalar-operand-network transfer time across the
+// given hop distance. Same-Slice forwarding (hops == 0) is free: it
+// happens through the local bypass.
+func OperandLatency(hops int) int {
+	if hops <= 0 {
+		return 0
+	}
+	return OperandRouterDelay + hops*OperandHopDelay
+}
+
+// CtrlLatency is the runtime-interface-network transfer time across the
+// given hop distance.
+func CtrlLatency(hops int) int {
+	if hops < 0 {
+		hops = 0
+	}
+	return CtrlRouterDelay + hops*CtrlHopDelay
+}

@@ -1,0 +1,90 @@
+package oracle
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Persistent characterisation cache. The brute-force sweep of §V-C is
+// deterministic (fixed seeds, fixed timing model), so its results can
+// be reused across processes; the harness loads the cache on start and
+// saves after characterising. Keys embed the full application
+// definition, so stale entries are impossible — a changed workload
+// simply misses.
+
+// DefaultCachePath returns the cache location: $CASH_ORACLE_CACHE if
+// set, else a file in the user cache directory (falling back to the
+// system temp directory).
+func DefaultCachePath() string {
+	if p := os.Getenv("CASH_ORACLE_CACHE"); p != "" {
+		return p
+	}
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "cash-oracle.gob")
+	}
+	return filepath.Join(os.TempDir(), "cash-oracle.gob")
+}
+
+// LoadCache merges entries from the file into the database. A missing
+// file is not an error.
+func (db *DB) LoadCache(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("oracle: opening cache: %w", err)
+	}
+	defer f.Close()
+	var m map[string]Char
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return fmt.Errorf("oracle: decoding cache %s: %w", path, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for k, v := range m {
+		if _, ok := db.cache[k]; !ok {
+			db.cache[k] = v
+		}
+	}
+	return nil
+}
+
+// SaveCache writes the database's entries to the file atomically.
+func (db *DB) SaveCache(path string) error {
+	db.mu.Lock()
+	m := make(map[string]Char, len(db.cache))
+	for k, v := range db.cache {
+		m[k] = v
+	}
+	db.mu.Unlock()
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("oracle: creating cache dir: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("oracle: creating cache: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("oracle: encoding cache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("oracle: closing cache: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Entries returns how many (app, configuration) characterisations are
+// cached.
+func (db *DB) Entries() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.cache)
+}

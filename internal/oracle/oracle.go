@@ -1,0 +1,382 @@
+// Package oracle implements the paper's characterisation methodology
+// (§V-C): run every application in every possible configuration of the
+// CASH architecture, record per-phase performance, and derive from it
+// the optimal resource allocation for any QoS goal — the yardstick
+// every allocator in §VI is measured against. It also produces the
+// configuration-space contour data of Fig 1.
+//
+// Characterisation is *in context*: each configuration executes the
+// whole application once, so per-phase IPC includes the cold-start and
+// transition effects a live run experiences — exactly what the
+// experiment engine will observe. Results are memoised per process and
+// shared by every experiment; the 64-configuration sweep of an
+// application parallelises across CPUs.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"cash/internal/cost"
+	"cash/internal/slice"
+	"cash/internal/ssim"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// Char is one configuration's characterisation of an application:
+// per-phase average IPC and per-phase minimum quantum-window IPC. The
+// minima matter because QoS violations are counted per control quantum
+// (§VI-C samples performance 1000 times): a configuration can only
+// *guarantee* the IPC of its worst window, not of its phase average.
+type Char struct {
+	// Avg[i] is phase i's average IPC on the configuration.
+	Avg []float64
+	// MinQ[i] is the minimum IPC over any full control-quantum window
+	// inside phase i (equal to Avg[i] when the phase is shorter than a
+	// window).
+	MinQ []float64
+}
+
+// DB is the memoised characterisation database.
+type DB struct {
+	SliceCfg slice.Config
+	Policy   ssim.SteeringPolicy
+	Seed     uint64
+	// Window is the quantum-window size in cycles used for MinQ;
+	// it should match the experiment engine's control quantum.
+	Window int64
+
+	mu    sync.Mutex
+	cache map[string]Char
+}
+
+// DefaultWindow matches the experiment engine's default control quantum.
+const DefaultWindow = 100_000
+
+// NewDB returns a database with the paper's defaults.
+func NewDB() *DB {
+	return &DB{
+		SliceCfg: slice.DefaultConfig(),
+		Policy:   ssim.SteerEarliest,
+		Seed:     42,
+		Window:   DefaultWindow,
+		cache:    make(map[string]Char),
+	}
+}
+
+// appKey digests the application definition, so that differently-scaled
+// or differently-tuned variants never collide even under one name.
+func appKey(app workload.App) string {
+	k := fmt.Sprintf("%s/%d", app.Name, len(app.Phases))
+	for _, p := range app.Phases {
+		k += fmt.Sprintf("|%s,%d,%d,%d,%d,%g,%g,%g,%g,%g,%d,%g,%d",
+			p.Name, p.Instrs, p.WorkingSetKB, p.HotSetKB, p.MidSetKB,
+			p.MidFrac, p.HotFrac, p.StreamFrac, p.MispredictRate,
+			p.MeanDepDist, p.Stride, p.Mix.ALU+2*p.Mix.Load+4*p.Mix.FPU, p.RegionID)
+	}
+	return k
+}
+
+// Characterize returns the characterisation of app on cfg, measuring
+// it on first use.
+func (db *DB) Characterize(app workload.App, cfg vcore.Config) Char {
+	key := appKey(app) + "@" + cfg.String()
+	db.mu.Lock()
+	if v, ok := db.cache[key]; ok {
+		db.mu.Unlock()
+		return v
+	}
+	db.mu.Unlock()
+
+	v := db.measureApp(app, cfg)
+
+	db.mu.Lock()
+	db.cache[key] = v
+	db.mu.Unlock()
+	return v
+}
+
+// PhaseIPC returns the in-context average IPC of every phase of app on
+// cfg.
+func (db *DB) PhaseIPC(app workload.App, cfg vcore.Config) []float64 {
+	return db.Characterize(app, cfg).Avg
+}
+
+// IPC returns the in-context average IPC of one phase on one
+// configuration.
+func (db *DB) IPC(app workload.App, phaseIdx int, cfg vcore.Config) float64 {
+	return db.Characterize(app, cfg).Avg[phaseIdx]
+}
+
+// MinQuantumIPC returns the minimum control-quantum IPC of one phase on
+// one configuration — the level the configuration can guarantee.
+func (db *DB) MinQuantumIPC(app workload.App, phaseIdx int, cfg vcore.Config) float64 {
+	return db.Characterize(app, cfg).MinQ[phaseIdx]
+}
+
+// measureApp executes the whole application once on cfg, quantum window
+// by quantum window.
+func (db *DB) measureApp(app workload.App, cfg vcore.Config) Char {
+	sim := ssim.MustNew(cfg, db.SliceCfg, db.Policy)
+	gen := workload.NewGen(app, db.Seed)
+	ch := Char{
+		Avg:  make([]float64, len(app.Phases)),
+		MinQ: make([]float64, len(app.Phases)),
+	}
+	window := db.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	for pi, p := range app.Phases {
+		var instrs, cycles int64
+		minQ := math.Inf(1)
+		remaining := p.Instrs
+		for remaining > 0 {
+			// Gen.Next never crosses a phase boundary, so bounding by the
+			// phase's remaining instructions attributes cycles precisely.
+			n, c := sim.RunBudget(gen, remaining, window)
+			if n == 0 && c == 0 {
+				break
+			}
+			remaining -= n
+			instrs += n
+			cycles += c
+			// Only full windows wholly inside the phase define the
+			// guaranteeable level.
+			if c >= window && remaining > 0 {
+				if q := float64(n) / float64(c); q < minQ {
+					minQ = q
+				}
+			}
+		}
+		if cycles > 0 {
+			ch.Avg[pi] = float64(instrs) / float64(cycles)
+		}
+		if math.IsInf(minQ, 1) {
+			minQ = ch.Avg[pi]
+		}
+		ch.MinQ[pi] = minQ
+	}
+	return ch
+}
+
+// CharacterizeApp sweeps all 64 configurations of the space for app, in
+// parallel across CPUs (§V-C's brute force).
+func (db *DB) CharacterizeApp(app workload.App) {
+	space := vcore.Space()
+	jobs := make(chan vcore.Config)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cfg := range jobs {
+				db.Characterize(app, cfg)
+			}
+		}()
+	}
+	for _, cfg := range space {
+		jobs <- cfg
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Grid returns the 8×8 IPC surface of one phase: grid[s-1][l2Idx]
+// (Fig 1's contour data).
+func (db *DB) Grid(app workload.App, phaseIdx int) [][]float64 {
+	steps := vcore.L2Steps()
+	grid := make([][]float64, vcore.MaxSlices)
+	for si := range grid {
+		grid[si] = make([]float64, len(steps))
+		for li, l2 := range steps {
+			grid[si][li] = db.IPC(app, phaseIdx, vcore.Config{Slices: si + 1, L2KB: l2})
+		}
+	}
+	return grid
+}
+
+// MaxIPC returns the best achievable IPC for a phase and the achieving
+// configuration.
+func (db *DB) MaxIPC(app workload.App, phaseIdx int) (float64, vcore.Config) {
+	best, bestCfg := -1.0, vcore.Config{}
+	for _, cfg := range vcore.Space() {
+		if v := db.IPC(app, phaseIdx, cfg); v > best {
+			best, bestCfg = v, cfg
+		}
+	}
+	return best, bestCfg
+}
+
+// QoSTargetSlack is the feasibility headroom applied when deriving a
+// QoS requirement from the worst-case phase: the paper sets the target
+// to the "highest worst case IPC seen" for the application; we back off
+// slightly so the worst phase has at least one robustly-feasible
+// configuration under measurement noise.
+const QoSTargetSlack = 0.95
+
+// QoSTarget derives an application's QoS requirement (§VI-C): the
+// "highest worst case IPC seen" — the best quantum-level IPC that some
+// single configuration can guarantee across every phase — with slack.
+func (db *DB) QoSTarget(app workload.App) float64 {
+	best := 0.0
+	for _, cfg := range vcore.Space() {
+		ch := db.Characterize(app, cfg)
+		worst := math.Inf(1)
+		for _, q := range ch.MinQ {
+			if q < worst {
+				worst = q
+			}
+		}
+		if worst > best {
+			best = worst
+		}
+	}
+	return best * QoSTargetSlack
+}
+
+// CheapestFeasible returns the lowest-rate configuration whose IPC
+// meets the target in the given phase, or an error when none does.
+func (db *DB) CheapestFeasible(app workload.App, phaseIdx int, target float64, m cost.Model) (vcore.Config, error) {
+	for _, cfg := range m.CheapestFirst() {
+		if db.MinQuantumIPC(app, phaseIdx, cfg) >= target {
+			return cfg, nil
+		}
+	}
+	return vcore.Config{}, fmt.Errorf("oracle: no configuration reaches IPC %.3f in phase %d of %s",
+		target, phaseIdx, app.Name)
+}
+
+// BestPerPhase returns, for each phase, the minimum-cost-per-work
+// feasible configuration — the allocation the Optimal line uses. With
+// free idling, the cost of a phase under configuration c is
+// rate(c)·instrs/IPC(c), so the optimum minimises rate/IPC among
+// feasible configurations.
+func (db *DB) BestPerPhase(app workload.App, target float64, m cost.Model) ([]vcore.Config, []float64, error) {
+	cfgs := make([]vcore.Config, len(app.Phases))
+	qos := make([]float64, len(app.Phases))
+	for pi := range app.Phases {
+		best := vcore.Config{}
+		bestEff := math.Inf(1)
+		bestIPC := 0.0
+		for _, cfg := range vcore.Space() {
+			ch := db.Characterize(app, cfg)
+			if ch.MinQ[pi] < target {
+				continue
+			}
+			ipc := ch.Avg[pi]
+			if eff := m.Rate(cfg) / ipc; eff < bestEff {
+				best, bestEff, bestIPC = cfg, eff, ipc
+			}
+		}
+		if bestIPC == 0 {
+			return nil, nil, fmt.Errorf("oracle: phase %d of %s has no feasible configuration for target %.3f",
+				pi, app.Name, target)
+		}
+		cfgs[pi] = best
+		qos[pi] = bestIPC
+	}
+	return cfgs, qos, nil
+}
+
+// WorstCaseConfig returns the cheapest configuration that meets the
+// target in *every* phase — race-to-idle's a-priori knowledge (§II-B).
+func (db *DB) WorstCaseConfig(app workload.App, target float64, m cost.Model) (vcore.Config, error) {
+	for _, cfg := range m.CheapestFirst() {
+		ok := true
+		ch := db.Characterize(app, cfg)
+		for pi := range app.Phases {
+			if ch.MinQ[pi] < target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cfg, nil
+		}
+	}
+	return vcore.Config{}, fmt.Errorf("oracle: no configuration meets target %.3f in all phases of %s",
+		target, app.Name)
+}
+
+// OptimalCost returns the analytic minimum cost of running the whole
+// application at the QoS target, with free idling (§V-C).
+func (db *DB) OptimalCost(app workload.App, target float64, m cost.Model) (float64, error) {
+	cfgs, qos, err := db.BestPerPhase(app, target, m)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for pi, p := range app.Phases {
+		cycles := float64(p.Instrs) / qos[pi]
+		total += m.Rate(cfgs[pi]) * cycles / cost.CyclesPerHour
+	}
+	return total, nil
+}
+
+// AvgSpeedup returns the application's instruction-weighted average
+// speedup for each configuration, relative to the minimal
+// configuration — the offline calibration the convex baseline gets.
+func (db *DB) AvgSpeedup(app workload.App) func(vcore.Config) float64 {
+	total := float64(app.TotalInstrs())
+	baseIPC := db.PhaseIPC(app, vcore.Min())
+	avg := make(map[vcore.Config]float64, len(vcore.Space()))
+	for _, cfg := range vcore.Space() {
+		ipc := db.PhaseIPC(app, cfg)
+		s := 0.0
+		for pi, p := range app.Phases {
+			if baseIPC[pi] <= 0 {
+				continue
+			}
+			s += (ipc[pi] / baseIPC[pi]) * float64(p.Instrs) / total
+		}
+		avg[cfg] = s
+	}
+	return func(c vcore.Config) float64 { return avg[c] }
+}
+
+// LocalOptimum is a strict local maximum of a phase's IPC surface.
+type LocalOptimum struct {
+	Cfg vcore.Config
+	IPC float64
+	// Global marks the surface's global optimum.
+	Global bool
+}
+
+// LocalOptima returns the strict local maxima of a phase's IPC surface
+// under 4-neighbourhood comparison with a relative tolerance (to ignore
+// plateau noise). The Fig 1 analysis counts phases whose surface has
+// maxima distinct from the global optimum.
+func (db *DB) LocalOptima(app workload.App, phaseIdx int, tol float64) []LocalOptimum {
+	grid := db.Grid(app, phaseIdx)
+	rows, cols := len(grid), len(grid[0])
+	gBest, gs, gl := -1.0, 0, 0
+	for si := 0; si < rows; si++ {
+		for li := 0; li < cols; li++ {
+			if grid[si][li] > gBest {
+				gBest, gs, gl = grid[si][li], si, li
+			}
+		}
+	}
+	var out []LocalOptimum
+	for si := 0; si < rows; si++ {
+		for li := 0; li < cols; li++ {
+			v := grid[si][li]
+			higher := func(a, b int) bool {
+				return a >= 0 && a < rows && b >= 0 && b < cols && grid[a][b] >= v*(1-tol)
+			}
+			if (si == gs && li == gl) ||
+				(!higher(si-1, li) && !higher(si+1, li) && !higher(si, li-1) && !higher(si, li+1)) {
+				out = append(out, LocalOptimum{
+					Cfg:    vcore.Config{Slices: si + 1, L2KB: vcore.L2Steps()[li]},
+					IPC:    v,
+					Global: si == gs && li == gl,
+				})
+			}
+		}
+	}
+	return out
+}

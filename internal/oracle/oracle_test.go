@@ -1,0 +1,230 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cash/internal/cost"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+func tinyApp() workload.App {
+	app, _ := workload.ByName("hmmer")
+	return app.Scale(0.03)
+}
+
+func TestCharacterizeMemoised(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	cfg := vcore.Config{Slices: 2, L2KB: 256}
+	first := db.Characterize(app, cfg)
+	if db.Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1", db.Entries())
+	}
+	again := db.Characterize(app, cfg)
+	for i := range first.Avg {
+		if first.Avg[i] != again.Avg[i] {
+			t.Fatal("memoised characterisation must be identical")
+		}
+	}
+	if db.Entries() != 1 {
+		t.Error("repeat characterisation must not add entries")
+	}
+}
+
+func TestCharDimensions(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	ch := db.Characterize(app, vcore.Min())
+	if len(ch.Avg) != len(app.Phases) || len(ch.MinQ) != len(app.Phases) {
+		t.Fatalf("char dims %d/%d, want %d", len(ch.Avg), len(ch.MinQ), len(app.Phases))
+	}
+	for pi := range app.Phases {
+		if ch.Avg[pi] <= 0 {
+			t.Errorf("phase %d: non-positive IPC", pi)
+		}
+		if ch.MinQ[pi] > ch.Avg[pi]*1.001 {
+			t.Errorf("phase %d: min-quantum IPC %.3f above the average %.3f",
+				pi, ch.MinQ[pi], ch.Avg[pi])
+		}
+	}
+}
+
+func TestScaledAppsDoNotCollide(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	db.Characterize(app, vcore.Min())
+	db.Characterize(app.Scale(0.5), vcore.Min())
+	if db.Entries() != 2 {
+		t.Errorf("differently-scaled apps must have distinct cache keys; Entries = %d", db.Entries())
+	}
+}
+
+func TestQoSTargetFeasible(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	target := db.QoSTarget(app)
+	if target <= 0 {
+		t.Fatal("target must be positive")
+	}
+	// By construction some configuration guarantees the target in every
+	// phase.
+	if _, err := db.WorstCaseConfig(app, target, cost.Default()); err != nil {
+		t.Errorf("derived target is infeasible: %v", err)
+	}
+	if _, err := db.WorstCaseConfig(app, 100, cost.Default()); err == nil {
+		t.Error("absurd target must be infeasible")
+	}
+}
+
+func TestBestPerPhaseFeasibility(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	m := cost.Default()
+	target := db.QoSTarget(app)
+	cfgs, qos, err := db.BestPerPhase(app, target, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range app.Phases {
+		if db.MinQuantumIPC(app, pi, cfgs[pi]) < target {
+			t.Errorf("phase %d: chosen %s cannot guarantee the target", pi, cfgs[pi])
+		}
+		if qos[pi] < target {
+			t.Errorf("phase %d: average IPC %.3f below target", pi, qos[pi])
+		}
+		// Optimality: no feasible config has better rate/IPC.
+		best := m.Rate(cfgs[pi]) / qos[pi]
+		for _, c := range vcore.Space() {
+			ch := db.Characterize(app, c)
+			if ch.MinQ[pi] < target {
+				continue
+			}
+			if eff := m.Rate(c) / ch.Avg[pi]; eff < best*(1-1e-9) {
+				t.Errorf("phase %d: %s (%.4g) beats chosen %s (%.4g)", pi, c, eff, cfgs[pi], best)
+			}
+		}
+	}
+}
+
+func TestOptimalCostPositive(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	target := db.QoSTarget(app)
+	c, err := db.OptimalCost(app, target, cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Errorf("optimal cost = %g", c)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	g := db.Grid(app, 0)
+	if len(g) != 8 || len(g[0]) != 8 {
+		t.Fatalf("grid is %dx%d, want 8x8", len(g), len(g[0]))
+	}
+	best, bestCfg := db.MaxIPC(app, 0)
+	if best <= 0 || !bestCfg.Valid() {
+		t.Errorf("MaxIPC = %f at %s", best, bestCfg)
+	}
+}
+
+func TestLocalOptimaContainGlobal(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	opt := db.LocalOptima(app, 0, 0.01)
+	globals := 0
+	for _, o := range opt {
+		if o.Global {
+			globals++
+		}
+	}
+	if globals != 1 {
+		t.Errorf("local optima must include exactly one global, got %d", globals)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "oracle.gob")
+
+	db := NewDB()
+	app := tinyApp()
+	db.Characterize(app, vcore.Min())
+	want := db.Characterize(app, vcore.Min())
+	if err := db.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDB()
+	if err := db2.LoadCache(path); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Entries() != db.Entries() {
+		t.Fatalf("loaded %d entries, want %d", db2.Entries(), db.Entries())
+	}
+	got := db2.Characterize(app, vcore.Min())
+	for i := range want.Avg {
+		if got.Avg[i] != want.Avg[i] || got.MinQ[i] != want.MinQ[i] {
+			t.Fatal("cache round trip altered data")
+		}
+	}
+}
+
+func TestLoadCacheMissingFile(t *testing.T) {
+	db := NewDB()
+	if err := db.LoadCache(filepath.Join(t.TempDir(), "absent.gob")); err != nil {
+		t.Errorf("missing cache file must not error: %v", err)
+	}
+}
+
+func TestLoadCacheCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gob")
+	os.WriteFile(path, []byte("not a gob"), 0o644)
+	db := NewDB()
+	if err := db.LoadCache(path); err == nil {
+		t.Error("corrupt cache must error")
+	}
+}
+
+func TestDefaultCachePathEnvOverride(t *testing.T) {
+	t.Setenv("CASH_ORACLE_CACHE", "/tmp/custom-cache.gob")
+	if DefaultCachePath() != "/tmp/custom-cache.gob" {
+		t.Errorf("env override ignored: %s", DefaultCachePath())
+	}
+}
+
+func TestAvgSpeedupBaseIsOne(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	f := db.AvgSpeedup(app)
+	if got := f(vcore.Min()); got < 0.999 || got > 1.001 {
+		t.Errorf("base speedup = %v, want 1", got)
+	}
+	if f(vcore.Max()) <= 0 {
+		t.Error("speedups must be positive")
+	}
+}
+
+func TestCheapestFeasible(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	m := cost.Default()
+	target := db.QoSTarget(app)
+	cfg, err := db.CheapestFeasible(app, 0, target, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.MinQuantumIPC(app, 0, cfg) < target {
+		t.Error("cheapest feasible does not meet the target")
+	}
+	if _, err := db.CheapestFeasible(app, 0, 100, m); err == nil {
+		t.Error("absurd target must fail")
+	}
+}

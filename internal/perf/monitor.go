@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"fmt"
+
+	"cash/internal/noc"
+)
+
+// Monitor implements the runtime side of the performance-sampling
+// protocol: it issues MsgPerfRequest packets to a set of Slices over
+// the runtime interface network and collects the timestamped
+// MsgPerfReply samples (§III-B2).
+//
+// A CounterSource answers requests on the Slice side; the simulator's
+// fabric registers one per Slice.
+type CounterSource interface {
+	// ReadCounters latches and returns the Slice's counters at the
+	// given cycle.
+	ReadCounters(atCycle int64) Sample
+}
+
+// Monitor collects virtual-core performance over the network.
+type Monitor struct {
+	net  *noc.Network
+	self noc.NodeID
+
+	pending map[uint64]struct{}
+	samples []Sample
+}
+
+// NewMonitor attaches a monitor at node self (the tile running the
+// CASH runtime) on the given control network. The caller must have
+// registered self's position; the monitor installs its reply handler.
+func NewMonitor(net *noc.Network, self noc.NodeID, at noc.Coord) *Monitor {
+	m := &Monitor{
+		net:     net,
+		self:    self,
+		pending: make(map[uint64]struct{}),
+	}
+	net.Register(self, at, m.onMessage)
+	return m
+}
+
+// RequestAll sends a counter request to every target Slice at the given
+// cycle. It returns the latest delivery cycle among the requests, i.e.
+// the earliest cycle by which all requests have *arrived* (replies take
+// another network traversal).
+func (m *Monitor) RequestAll(targets []noc.NodeID, atCycle int64) (int64, error) {
+	var latest int64
+	for _, t := range targets {
+		d, err := m.net.Send(noc.Message{
+			Type: noc.MsgPerfRequest,
+			Src:  m.self,
+			Dst:  t,
+		}, atCycle)
+		if err != nil {
+			return 0, fmt.Errorf("perf: requesting counters from node %d: %w", t, err)
+		}
+		if d > latest {
+			latest = d
+		}
+	}
+	return latest, nil
+}
+
+// onMessage handles replies delivered to the monitor node.
+func (m *Monitor) onMessage(msg noc.Message) {
+	if msg.Type != noc.MsgPerfReply {
+		return
+	}
+	s, ok := msg.Payload.(Sample)
+	if !ok {
+		return
+	}
+	m.samples = append(m.samples, s)
+}
+
+// Drain returns and clears the samples collected so far.
+func (m *Monitor) Drain() []Sample {
+	out := m.samples
+	m.samples = nil
+	return out
+}
+
+// Responder is the Slice-side endpoint: it answers MsgPerfRequest with
+// a timestamped MsgPerfReply. The fabric registers one per Slice.
+type Responder struct {
+	net    *noc.Network
+	id     noc.NodeID
+	source CounterSource
+	// Clock returns the current cycle; replies are stamped and sent at
+	// the cycle the request arrives.
+	clock func() int64
+}
+
+// NewResponder registers a responder for Slice id at the given position.
+func NewResponder(net *noc.Network, id noc.NodeID, at noc.Coord, source CounterSource, clock func() int64) *Responder {
+	r := &Responder{net: net, id: id, source: source, clock: clock}
+	net.Register(id, at, r.onMessage)
+	return r
+}
+
+func (r *Responder) onMessage(msg noc.Message) {
+	if msg.Type != noc.MsgPerfRequest {
+		return
+	}
+	now := r.clock()
+	sample := r.source.ReadCounters(now)
+	// Reply errors mean the requester vanished mid-flight; the sample
+	// is simply lost, like a dropped packet.
+	_, _ = r.net.Send(noc.Message{
+		Type:    noc.MsgPerfReply,
+		Src:     r.id,
+		Dst:     msg.Src,
+		Seq:     msg.Seq,
+		Payload: sample,
+	}, now)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	cashisa "cash/internal/isa"
+	"fmt"
+
+	"cash/internal/slice"
+	"cash/internal/ssim"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+func check() {
+	p := workload.Phase{
+		Name: "chk", Instrs: 1e6,
+		Mix:         workload.InstrMix{ALU: 1},
+		MeanDepDist: 8, DepFrac: 0,
+		WorkingSetKB: 256, HotSetKB: 8, HotFrac: 1, StreamFrac: 0, Stride: 64,
+	}
+	g := workload.NewPhaseGen(p, 0, 42)
+	s := ssim.MustNew(vcore.Config{Slices: 4, L2KB: 4096}, slice.DefaultConfig(), ssim.SteerEarliest)
+	rg := p.Regions(0)
+	fmt.Printf("code region: base=%#x size=%d\n", rg.Code.Base, rg.Code.Size)
+	s.PrefillL2(rg.Main.Base, rg.Main.Size)
+	s.PrefillL2(rg.Code.Base, rg.Code.Size)
+	s.PrefillL1D(rg.Hot.Base, rg.Hot.Size)
+	s.PrefillL1I(rg.HotCode.Base, rg.HotCode.Size)
+	h1, _, _ := s.VCore().L2().Access(rg.Code.Base, false)
+	h2, _, _ := s.VCore().L2().Access(rg.Code.Base+4096, false)
+	h3, _, _ := s.VCore().L2().Access(rg.Main.Base, false)
+	fmt.Println("resident after prefill: codebase:", h1, "code+4k:", h2, "main:", h3)
+	var buf [64]cashisa.Instr
+	gg := workload.NewPhaseGen(p, 0, 43)
+	miss := 0
+	var missPCs []uint64
+	for i := 0; i < 40; i++ {
+		gg.Next(buf[:])
+		for _, in := range buf {
+			if !s.VCore().L2().Contains(in.PC) {
+				miss++
+				if len(missPCs) < 5 {
+					missPCs = append(missPCs, in.PC)
+				}
+			}
+		}
+	}
+	fmt.Printf("gen PCs not in L2: %d/2560, first: %#x\n", miss, missPCs)
+	instrs, cycles := s.Run(g, 40000)
+	c := s.Counters()
+	l2 := s.VCore().L2().Stats()
+	l1i := s.VCore().Slice(0).L1I.Stats()
+	fmt.Printf("ipc=%.3f instrs=%d cycles=%d\n", float64(instrs)/float64(cycles), instrs, cycles)
+	fmt.Printf("counters: %+v\n", c)
+	fmt.Printf("L2: %+v\nL1I(0): %+v\n", l2, l1i)
+	for i := 1; i < 4; i++ {
+		fmt.Printf("L1I(%d): %+v\n", i, s.VCore().Slice(i).L1I.Stats())
+	}
+}

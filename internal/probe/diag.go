@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+func diagPhase(name string, mut func(*workload.Phase)) {
+	p := workload.Phase{
+		Name: name, Instrs: 1e6,
+		Mix:         workload.InstrMix{ALU: 1},
+		MeanDepDist: 8, DepFrac: 0, SecondSrcFrac: 0,
+		WorkingSetKB: 256, HotSetKB: 8, HotFrac: 1, StreamFrac: 0, Stride: 64,
+		MispredictRate: 0,
+	}
+	mut(&p)
+	fmt.Printf("%-28s", name)
+	for _, cfg := range []vcore.Config{{Slices: 1, L2KB: 64}, {Slices: 1, L2KB: 4096}, {Slices: 4, L2KB: 64}, {Slices: 4, L2KB: 4096}, {Slices: 8, L2KB: 4096}} {
+		fmt.Printf("  %s=%5.2f", cfg, ipc(p, 0, cfg, 40000))
+	}
+	fmt.Println()
+}
+
+func diag() {
+	diagPhase("alu-nodep", func(p *workload.Phase) {})
+	diagPhase("alu-dep85-d8", func(p *workload.Phase) { p.DepFrac = 0.85 })
+	diagPhase("alu-dep85-d8-src2", func(p *workload.Phase) { p.DepFrac = 0.85; p.SecondSrcFrac = 0.5 })
+	diagPhase("alu-dep85-d2", func(p *workload.Phase) { p.DepFrac = 0.85; p.MeanDepDist = 2 })
+	diagPhase("alu-serial-chain", func(p *workload.Phase) { p.DepFrac = 1; p.MeanDepDist = 1 })
+	diagPhase("+loads-hot", func(p *workload.Phase) {
+		p.DepFrac = 0.85
+		p.Mix = workload.InstrMix{ALU: 0.66, Load: 0.24, Store: 0.10}
+	})
+	diagPhase("+loads-ws1MB-hot50", func(p *workload.Phase) {
+		p.DepFrac = 0.85
+		p.Mix = workload.InstrMix{ALU: 0.66, Load: 0.24, Store: 0.10}
+		p.WorkingSetKB = 1024
+		p.HotFrac = 0.5
+	})
+	diagPhase("+branch-nomiss", func(p *workload.Phase) {
+		p.DepFrac = 0.85
+		p.Mix = workload.InstrMix{ALU: 0.48, Load: 0.24, Store: 0.10, Branch: 0.18}
+	})
+	diagPhase("+branch-miss6pct", func(p *workload.Phase) {
+		p.DepFrac = 0.85
+		p.Mix = workload.InstrMix{ALU: 0.48, Load: 0.24, Store: 0.10, Branch: 0.18}
+		p.MispredictRate = 0.06
+	})
+	diagPhase("full-ws1MB", func(p *workload.Phase) {
+		p.DepFrac = 0.85
+		p.SecondSrcFrac = 0.5
+		p.Mix = workload.InstrMix{ALU: 0.48, Load: 0.24, Store: 0.10, Branch: 0.18}
+		p.MispredictRate = 0.06
+		p.WorkingSetKB = 1024
+		p.HotFrac = 0.5
+	})
+}

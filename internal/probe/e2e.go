@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cash/internal/alloc"
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/oracle"
+	"cash/internal/workload"
+)
+
+func e2e(appName string) {
+	app, ok := workload.ByName(appName)
+	if !ok {
+		fmt.Println("unknown app", appName)
+		return
+	}
+	db := oracle.NewDB()
+	db.LoadCache(oracle.DefaultCachePath())
+	model := cost.Default()
+	t0 := time.Now()
+	db.CharacterizeApp(app)
+	db.SaveCache(oracle.DefaultCachePath())
+	fmt.Printf("characterized %s in %v\n", app.Name, time.Since(t0))
+
+	target := db.QoSTarget(app)
+	fmt.Printf("QoS target: %.3f IPC\n", target)
+
+	optCost, err := db.OptimalCost(app, target, model)
+	if err != nil {
+		fmt.Println("oracle:", err)
+		return
+	}
+	wc, err := db.WorstCaseConfig(app, target, model)
+	if err != nil {
+		fmt.Println("worst-case:", err)
+		return
+	}
+	fmt.Printf("optimal cost: $%.5f; worst-case cfg: %s\n", optCost, wc)
+	perPhase, phaseQoS, _ := db.BestPerPhase(app, target, model)
+	for i, c := range perPhase {
+		fmt.Printf("  phase %d (%s): %s ipc=%.3f\n", i, app.Phases[i].Name, c, phaseQoS[i])
+	}
+
+	opts := experiment.Opts{Target: target}
+	run := func(name string, a alloc.Allocator) {
+		t := time.Now()
+		res, err := experiment.Run(app, a, opts)
+		if err != nil {
+			fmt.Printf("%-20s error: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%-20s cost=$%.5f (%.2fx opt) viol=%.1f%% samples=%d cycles=%dM reconfigs=%d in %v\n",
+			name, res.TotalCost, res.TotalCost/optCost, 100*res.ViolationRate,
+			len(res.Samples), res.TotalCycles/1e6, res.ReconfigCount, time.Since(t))
+	}
+
+	run("RaceToIdle", alloc.RaceToIdle{WorstCase: wc, TargetQoS: target})
+	cvx, _ := cashrt.NewConvex(target, model, db.AvgSpeedup(app))
+	run("Convex", cvx)
+	cash := cashrt.MustNew(target, model, cashrt.Options{Seed: 7})
+	run("CASH", cash)
+	orc := &alloc.OraclePolicy{PerPhase: perPhase, PhaseQoS: phaseQoS, TargetQoS: target}
+	run("OraclePolicy", orc)
+}

@@ -1,0 +1,143 @@
+// Command probe is a development-time characterisation harness used to
+// calibrate the workload models against the simulator. It is not part
+// of the public deliverable (cmd/cashsim is); it stays in the tree so
+// the calibration in apps.go can be re-verified.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"cash/internal/slice"
+	"cash/internal/ssim"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+func ipc(p workload.Phase, pi int, cfg vcore.Config, n int64) float64 {
+	g := workload.NewPhaseGen(p, pi, 42)
+	s := ssim.MustNew(cfg, slice.DefaultConfig(), ssim.SteerEarliest)
+	rg := p.Regions(pi)
+	s.PrefillL2(rg.Main.Base, rg.Main.Size)
+	if rg.Mid.Size > 0 {
+		s.PrefillL2(rg.Mid.Base, rg.Mid.Size)
+	}
+	s.PrefillL2(rg.Code.Base, rg.Code.Size)
+	s.PrefillL1D(rg.Hot.Base, rg.Hot.Size)
+	s.PrefillL1I(rg.HotCode.Base, rg.HotCode.Size)
+	s.Run(g, 5000) // pipeline warmup
+	start := s.Cycle()
+	instrs, _ := s.Run(g, n)
+	return float64(instrs) / float64(s.Cycle()-start)
+}
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "prof" {
+		f, _ := os.Create("/tmp/cpu.prof")
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+		p := workload.X264().Phases[1]
+		t0 := time.Now()
+		var total int64
+		for _, s := range []int{1, 4, 8} {
+			g := workload.NewPhaseGen(p, 1, 42)
+			sim := ssim.MustNew(vcore.Config{Slices: s, L2KB: 1024}, slice.DefaultConfig(), ssim.SteerEarliest)
+			in, _ := sim.Run(g, 2_000_000)
+			total += in
+		}
+		el := time.Since(t0)
+		fmt.Printf("%d instrs in %v = %.1f M instr/s\n", total, el, float64(total)/el.Seconds()/1e6)
+		return
+	}
+
+	if len(os.Args) > 1 && os.Args[1] == "sweep2" {
+		sweep2()
+		return
+	}
+	if len(os.Args) > 2 && os.Args[1] == "sweep" {
+		sweep(os.Args[2])
+		return
+	}
+	if len(os.Args) > 2 && os.Args[1] == "viol" {
+		violHist(os.Args[2])
+		return
+	}
+	if len(os.Args) > 2 && os.Args[1] == "trace" {
+		traceCASH(os.Args[2])
+		return
+	}
+	if len(os.Args) > 2 && os.Args[1] == "static" {
+		staticCmp(os.Args[2])
+		return
+	}
+	if len(os.Args) > 2 && os.Args[1] == "e2e" {
+		e2e(os.Args[2])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		check()
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "diag" {
+		diag()
+		return
+	}
+	apps := workload.Apps()
+	if len(os.Args) > 1 {
+		if a, ok := workload.ByName(os.Args[1]); ok {
+			apps = []workload.App{a}
+		}
+	} else {
+		apps = []workload.App{workload.X264()}
+	}
+	t0 := time.Now()
+	for _, app := range apps {
+		fmt.Printf("== %s ==\n", app.Name)
+		for pi, p := range app.Phases {
+			fmt.Printf("%-14s ws=%5dKB mid=%4dKB ilp=%4.1f\n", p.Name, p.WorkingSetKB, p.MidSetKB, p.MeanDepDist)
+			var grid [8][8]float64
+			for si := 0; si < 8; si++ {
+				fmt.Printf("  s=%d: ", si+1)
+				l2 := 64
+				for li := 0; li < 8; li++ {
+					v := ipc(p, pi, vcore.Config{Slices: si + 1, L2KB: l2}, 40000)
+					grid[si][li] = v
+					fmt.Printf("%5.2f ", v)
+					l2 *= 2
+				}
+				fmt.Println()
+			}
+			// Local-optima analysis (4-neighbourhood strict maxima).
+			best, bs, bl := 0.0, 0, 0
+			var locals []string
+			for si := 0; si < 8; si++ {
+				for li := 0; li < 8; li++ {
+					v := grid[si][li]
+					if v > best {
+						best, bs, bl = v, si, li
+					}
+					isMax := true
+					if si > 0 && grid[si-1][li] >= v {
+						isMax = false
+					}
+					if si < 7 && grid[si+1][li] >= v {
+						isMax = false
+					}
+					if li > 0 && grid[si][li-1] >= v {
+						isMax = false
+					}
+					if li < 7 && grid[si][li+1] >= v {
+						isMax = false
+					}
+					if isMax {
+						locals = append(locals, fmt.Sprintf("%ds/%dKB=%.2f", si+1, 64<<li, v))
+					}
+				}
+			}
+			fmt.Printf("  global opt: %ds/%dKB=%.2f; local maxima: %v\n", bs+1, 64<<bl, best, locals)
+		}
+	}
+	fmt.Println("elapsed:", time.Since(t0))
+}

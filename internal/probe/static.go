@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+
+	"cash/internal/alloc"
+	"cash/internal/experiment"
+	"cash/internal/oracle"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+func staticCmp(appName string) {
+	app, _ := workload.ByName(appName)
+	db := oracle.NewDB()
+	cfg := vcore.Config{Slices: 7, L2KB: 8192}
+	res, err := experiment.Run(app, alloc.Static{Cfg: cfg}, experiment.Opts{Target: 0.5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Average engine QoS per phase.
+	type acc struct {
+		q float64
+		n int
+	}
+	per := make([]acc, len(app.Phases))
+	for _, s := range res.Samples {
+		per[s.Phase].q += s.QoS
+		per[s.Phase].n++
+	}
+	for pi, p := range app.Phases {
+		o := db.IPC(app, pi, cfg)
+		e := 0.0
+		if per[pi].n > 0 {
+			e = per[pi].q / float64(per[pi].n)
+		}
+		fmt.Printf("phase %-14s oracle=%.3f engine=%.3f (n=%d)\n", p.Name, o, e, per[pi].n)
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/oracle"
+	"cash/internal/workload"
+)
+
+func sweep(appName string) {
+	app, _ := workload.ByName(appName)
+	db := oracle.NewDB()
+	db.LoadCache(oracle.DefaultCachePath())
+	db.CharacterizeApp(app)
+	db.SaveCache(oracle.DefaultCachePath())
+	target := db.QoSTarget(app)
+	model := cost.Default()
+	optCost, _ := db.OptimalCost(app, target, model)
+	fmt.Printf("app=%s target=%.3f opt=%.3g\n", app.Name, target, optCost)
+	fmt.Printf("%-6s %-6s %-5s %-8s %-7s | %-9s %-7s\n", "guard", "probe", "snap", "rescale", "margin", "cost/opt", "viol%")
+	for _, guard := range []int{0, 1, 2} { // off, committed, demand
+		for _, probe := range []int{0, 1, 3} {
+			for _, snap := range []bool{false, true} {
+				for _, resc := range []int{0, 2} {
+					for _, margin := range []float64{0.08, 0.15} {
+						r := cashrt.MustNew(target, model, cashrt.Options{
+							Seed: 7, GuardStyle: guard, ProbePeriod: probe,
+							NoSnap: snap, RescaleMode: resc, Margin: margin,
+						})
+						res, err := experiment.Run(app, r, experiment.Opts{Target: target})
+						if err != nil {
+							fmt.Println(err)
+							continue
+						}
+						fmt.Printf("%-6d %-6d %-5v %-8d %-7.2f | %-9.2f %-7.1f\n",
+							guard, probe, snap, resc, margin, res.TotalCost/optCost, 100*res.ViolationRate)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+
+	"cash/internal/alloc"
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/oracle"
+	"cash/internal/workload"
+)
+
+func sweep2() {
+	db := oracle.NewDB()
+	db.LoadCache(oracle.DefaultCachePath())
+	model := cost.Default()
+	type variant struct {
+		name         string
+		guard, probe int
+		nosnap       bool
+		rescale      int
+		margin       float64
+	}
+	variants := []variant{
+		{"noguard-noprobe", 0, 0, false, 0, 0.08},
+		{"commit-noprobe", 1, 0, false, 0, 0.08},
+		{"demand-noprobe", 2, 0, false, 0, 0.08},
+		{"noguard-probe3", 0, 3, false, 0, 0.12},
+	}
+	for _, appName := range []string{"mcf", "hmmer", "gcc", "x264"} {
+		app, _ := workload.ByName(appName)
+		db.CharacterizeApp(app)
+		db.SaveCache(oracle.DefaultCachePath())
+		target := db.QoSTarget(app)
+		optCost, err := db.OptimalCost(app, target, model)
+		if err != nil {
+			fmt.Println(appName, err)
+			continue
+		}
+		wc, _ := db.WorstCaseConfig(app, target, model)
+		rti, _ := experiment.Run(app, alloc.RaceToIdle{WorstCase: wc, TargetQoS: target}, experiment.Opts{Target: target, Tolerance: 0.10})
+		fmt.Printf("== %s target=%.3f  RTI=%.2fx/%.1f%%\n", appName, target, rti.TotalCost/optCost, 100*rti.ViolationRate)
+		for _, v := range variants {
+			r := cashrt.MustNew(target, model, cashrt.Options{
+				Seed: 7, GuardStyle: v.guard, ProbePeriod: v.probe,
+				NoSnap: v.nosnap, RescaleMode: v.rescale, Margin: v.margin,
+			})
+			res, err := experiment.Run(app, r, experiment.Opts{Target: target, Tolerance: 0.10})
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Printf("  %-22s %.2fx  viol=%.1f%%\n", v.name, res.TotalCost/optCost, 100*res.ViolationRate)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+
+	"cash/internal/alloc"
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/oracle"
+	"cash/internal/workload"
+)
+
+// traced wraps the CASH runtime and prints each decision.
+type traced struct {
+	r *cashrt.Runtime
+	n int
+}
+
+func (t *traced) Name() string { return t.r.Name() }
+func (t *traced) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
+	var qi, qc int64
+	for _, ob := range prev {
+		qi += ob.Instrs
+		qc += ob.Cycles
+	}
+	q := 0.0
+	if qc > 0 {
+		q = float64(qi) / float64(qc)
+	}
+	plan := t.r.Decide(prev, tau)
+	if t.n < 60 {
+		fmt.Printf("it=%3d q=%.3f bhat=%.3f s=%.2f plan=", t.n, q, t.r.Estimator().Estimate(), t.r.Speedup())
+		for _, st := range plan.Steps {
+			fmt.Printf("[%s %dk idle=%v]", st.Config, st.MaxCycles/1000, st.Idle)
+		}
+		fmt.Println()
+	}
+	t.n++
+	return plan
+}
+
+func traceCASH(appName string) {
+	app, _ := workload.ByName(appName)
+	db := oracle.NewDB()
+	db.LoadCache(oracle.DefaultCachePath())
+	db.CharacterizeApp(app)
+	db.SaveCache(oracle.DefaultCachePath())
+	target := db.QoSTarget(app)
+	fmt.Printf("target=%.3f\n", target)
+	tr := &traced{r: cashrt.MustNew(target, cost.Default(), cashrt.Options{Seed: 7})}
+	res, err := experiment.Run(app, tr, experiment.Opts{Target: target})
+	fmt.Println(err, "viol:", res.ViolationRate, "cost:", res.TotalCost)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/oracle"
+	"cash/internal/workload"
+)
+
+func violHist(appName string) {
+	app, _ := workload.ByName(appName)
+	db := oracle.NewDB()
+	db.LoadCache(oracle.DefaultCachePath())
+	db.CharacterizeApp(app)
+	db.SaveCache(oracle.DefaultCachePath())
+	target := db.QoSTarget(app)
+	cash := cashrt.MustNew(target, cost.Default(), cashrt.Options{Seed: 7})
+	res, _ := experiment.Run(app, cash, experiment.Opts{Target: target})
+	type acc struct {
+		v, n int
+		q, c float64
+	}
+	per := make([]acc, len(app.Phases))
+	cfgViol := map[string]int{}
+	for _, s := range res.Samples {
+		a := &per[s.Phase]
+		a.n++
+		a.q += s.QoS
+		a.c += s.CostRate
+		if s.Violated {
+			a.v++
+			cfgViol[s.Config.String()]++
+		}
+	}
+	model := cost.Default()
+	perPhase, phaseQoS, _ := db.BestPerPhase(app, target, model)
+	fmt.Printf("target=%.3f total viol=%.1f%% recoveries=%d\n", target, 100*res.ViolationRate, cash.Recoveries)
+	for pi, p := range app.Phases {
+		a := per[pi]
+		if a.n == 0 {
+			continue
+		}
+		optRate := model.Rate(perPhase[pi]) * target / phaseQoS[pi]
+		fmt.Printf("%-14s n=%3d viol=%3d avgq=%.3f costrate=%.4f opt=%s rate*=%.4f\n",
+			p.Name, a.n, a.v, a.q/float64(a.n), a.c/float64(a.n), perPhase[pi], optRate)
+	}
+	fmt.Println("violating configs:", cfgViol)
+}

@@ -1,0 +1,636 @@
+// Package ssim is SSim, the cycle-level timing simulator for the CASH
+// architecture (§V-A). It models every subsystem the paper lists —
+// fetch, rename, issue, execution, memory, commit and the on-chip
+// networks — for a virtual core of N Slices and a banked L2, with
+// accurate out-of-order, inter-Slice and Slice-to-memory latencies.
+//
+// # Timing model
+//
+// SSim is a timestamped-dataflow simulator: instructions are processed
+// in program order and each one's fetch, dispatch, issue, completion
+// and commit cycles are computed from (a) the readiness of its source
+// operands, including scalar-operand-network transfer time when the
+// producer ran on a different Slice, and (b) per-resource next-free
+// cursors that enforce the structural limits of Table I — fetch width,
+// per-Slice issue window, ROB capacity, one ALU and one LSU per Slice,
+// the store buffer, and the in-flight load limit. Caches are real tag
+// arrays fed the workload's actual address stream. The model is O(1)
+// per instruction, which is what makes the paper's brute-force oracle
+// (§V-C) affordable, while preserving the constraints that give the
+// configuration space its non-convex shape.
+//
+// The simulator supports mid-run reconfiguration with the overheads of
+// §VI-A applied, which is how the runtime experiments of §VI drive it.
+package ssim
+
+import (
+	"fmt"
+
+	"cash/internal/isa"
+	"cash/internal/mem"
+	"cash/internal/noc"
+	"cash/internal/perf"
+	"cash/internal/slice"
+	"cash/internal/vcore"
+)
+
+// InstrSource supplies dynamic instructions. Both workload.Gen and
+// workload.PhaseGen implement it.
+type InstrSource interface {
+	// Next fills buf with up to len(buf) instructions and returns how
+	// many were produced; 0 means the stream is exhausted.
+	Next(buf []isa.Instr) int
+}
+
+// SteeringPolicy selects which Slice executes each instruction.
+type SteeringPolicy uint8
+
+const (
+	// SteerEarliest greedily picks the Slice where the instruction can
+	// start soonest, accounting for operand-network transfers — the
+	// CASH default.
+	SteerEarliest SteeringPolicy = iota
+	// SteerRoundRobin distributes instructions blindly; the ablation
+	// baseline.
+	SteerRoundRobin
+)
+
+// frontDepth is the fetch-to-dispatch pipeline depth in cycles
+// (fetch, decode, global rename, local rename, dispatch; Fig 4).
+const frontDepth = 5
+
+// globalRenameSync is the extra front-end cycle a multi-Slice virtual
+// core pays for global rename & scoreboard synchronization (Fig 4).
+const globalRenameSync = 1
+
+// fetchBlock groups instructions into I-cache line probes.
+const fetchBlockMask = ^uint64(mem.BlockBytes - 1)
+
+// Sim is one virtual core executing one instruction stream.
+type Sim struct {
+	vc   *vcore.VCore
+	scfg slice.Config
+	pol  SteeringPolicy
+
+	n int // current Slice count (cached from vc)
+
+	// Front end.
+	fetchCycle int64
+	fetchCount int
+	lastIBlock uint64 // last fetched I-block (the fetch unit streams blocks)
+
+	// Per-Slice structural resources.
+	aluFree  []int64
+	lsuFree  []int64
+	loads    [][]int64 // completion-time ring, MaxInflightLoads deep
+	loadPos  []int
+	stores   [][]int64 // store-buffer drain-time ring
+	storePos []int
+	win      [][]int64 // issue-time ring, IssueWindow deep
+	winPos   []int
+
+	// Shared structures.
+	rob    []int64 // commit-time ring, ROBSize*N deep
+	robPos int
+
+	// opLat[p*n+k] is the operand-network latency from Slice p to Slice
+	// k, precomputed from the fabric layout at (re)configuration time.
+	opLat []int64
+
+	// Commit cursors.
+	commitCycle int64
+	commitCount int
+
+	// Register timing: ready cycle and producing Slice per global.
+	regReady [isa.NumGlobalRegs]int64
+	regProd  [isa.NumGlobalRegs]int16
+
+	// Instruction staging buffer.
+	buf  []isa.Instr
+	bufN int
+	bufI int
+
+	committed int64
+}
+
+// New builds a simulator for the given initial configuration.
+func New(cfg vcore.Config, sliceCfg slice.Config, pol SteeringPolicy) (*Sim, error) {
+	vc, err := vcore.New(cfg, sliceCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{vc: vc, scfg: sliceCfg, pol: pol, buf: make([]isa.Instr, 512)}
+	s.rebuild(0)
+	for g := range s.regProd {
+		s.regProd[g] = -1
+	}
+	return s, nil
+}
+
+// MustNew is New for statically-valid configurations.
+func MustNew(cfg vcore.Config, sliceCfg slice.Config, pol SteeringPolicy) *Sim {
+	s, err := New(cfg, sliceCfg, pol)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// rebuild resizes the per-Slice structures after (re)configuration,
+// marking every resource free at cycle `at`.
+func (s *Sim) rebuild(at int64) {
+	s.n = s.vc.Config().Slices
+	resize := func(p *[]int64) {
+		*p = (*p)[:0]
+		for i := 0; i < s.n; i++ {
+			*p = append(*p, at)
+		}
+	}
+	resize(&s.aluFree)
+	resize(&s.lsuFree)
+	resizeRing := func(rings *[][]int64, pos *[]int, depth int) {
+		*rings = (*rings)[:0]
+		*pos = (*pos)[:0]
+		for i := 0; i < s.n; i++ {
+			r := make([]int64, depth)
+			for j := range r {
+				r[j] = at
+			}
+			*rings = append(*rings, r)
+			*pos = append(*pos, 0)
+		}
+	}
+	resizeRing(&s.loads, &s.loadPos, s.scfg.MaxInflightLoads)
+	resizeRing(&s.stores, &s.storePos, s.scfg.StoreBufferSize)
+	resizeRing(&s.win, &s.winPos, s.scfg.IssueWindow)
+	s.rob = make([]int64, s.scfg.ROBSize*s.n)
+	for i := range s.rob {
+		s.rob[i] = at
+	}
+	s.robPos = 0
+	s.lastIBlock = ^uint64(0)
+	s.opLat = make([]int64, s.n*s.n)
+	for p := 0; p < s.n; p++ {
+		for k := 0; k < s.n; k++ {
+			s.opLat[p*s.n+k] = int64(noc.OperandLatency(s.vc.SliceDistance(p, k)))
+		}
+	}
+	if s.fetchCycle < at {
+		s.fetchCycle = at
+	}
+	s.fetchCount = 0
+	if s.commitCycle < at {
+		s.commitCycle = at
+	}
+	s.commitCount = 0
+	// Register values survive reconfiguration (the flush protocol moved
+	// them), but producers may have moved; re-home them.
+	for g := range s.regProd {
+		if int(s.regProd[g]) >= s.n {
+			s.regProd[g] = int16(s.vc.PrimaryHolder(isa.Reg(g)))
+		}
+	}
+}
+
+// Config returns the current virtual-core configuration.
+func (s *Sim) Config() vcore.Config { return s.vc.Config() }
+
+// VCore exposes the underlying virtual core (for counters, rename
+// inspection, and the runtime-interface protocol).
+func (s *Sim) VCore() *vcore.VCore { return s.vc }
+
+// Cycle returns the current committed-work clock.
+func (s *Sim) Cycle() int64 { return s.commitCycle }
+
+// Committed returns total committed instructions.
+func (s *Sim) Committed() int64 { return s.committed }
+
+// Counters aggregates per-Slice counters into a virtual-core view.
+func (s *Sim) Counters() perf.Counters {
+	samples := make([]perf.Sample, 0, s.n)
+	for _, sl := range s.vc.Slices() {
+		samples = append(samples, sl.ReadCounters(s.commitCycle))
+	}
+	return perf.SynthesizeVCore(samples)
+}
+
+// Reconfigure switches the virtual core to a new configuration,
+// charging the architectural stall (§VI-A) to the committed-work clock.
+// It returns the stall cycles.
+func (s *Sim) Reconfigure(to vcore.Config) (int64, error) {
+	if to == s.vc.Config() {
+		return 0, nil
+	}
+	sliceCountChanged := to.Slices != s.vc.Config().Slices
+	stall, err := s.vc.Reconfigure(to)
+	if err != nil {
+		return 0, err
+	}
+	if sliceCountChanged {
+		// The L1D address interleave is Slice-count dependent; banks
+		// hold stale partitions after the change. L1s are write-through
+		// (no dirty data), so this costs only cold misses.
+		for _, sl := range s.vc.Slices() {
+			sl.L1D.Flush()
+			sl.L1I.Flush()
+		}
+	}
+	at := s.commitCycle + stall
+	if f := s.fetchCycle + stall; f > at {
+		at = f
+	}
+	s.rebuild(at)
+	s.fetchCycle = at
+	s.commitCycle = at
+	return stall, nil
+}
+
+// Run executes up to maxInstrs instructions (or until the source is
+// exhausted) and returns how many committed and the cycles consumed.
+func (s *Sim) Run(src InstrSource, maxInstrs int64) (instrs, cycles int64) {
+	start := s.commitCycle
+	for instrs < maxInstrs {
+		in, ok := s.next(src)
+		if !ok {
+			break
+		}
+		s.exec(in)
+		instrs++
+	}
+	return instrs, s.commitCycle - start
+}
+
+// RunCycles executes instructions until the committed-work clock
+// advances by at least budget cycles, or the source is exhausted.
+// It returns the instructions committed and cycles consumed.
+func (s *Sim) RunCycles(src InstrSource, budget int64) (instrs, cycles int64) {
+	start := s.commitCycle
+	deadline := start + budget
+	for s.commitCycle < deadline {
+		in, ok := s.next(src)
+		if !ok {
+			break
+		}
+		s.exec(in)
+		instrs++
+	}
+	return instrs, s.commitCycle - start
+}
+
+// RunBudget executes instructions until either maxInstrs commit or the
+// committed-work clock advances by maxCycles, whichever comes first (or
+// the source is exhausted).
+func (s *Sim) RunBudget(src InstrSource, maxInstrs, maxCycles int64) (instrs, cycles int64) {
+	start := s.commitCycle
+	deadline := start + maxCycles
+	for instrs < maxInstrs && s.commitCycle < deadline {
+		in, ok := s.next(src)
+		if !ok {
+			break
+		}
+		s.exec(in)
+		instrs++
+	}
+	return instrs, s.commitCycle - start
+}
+
+// AdvanceIdle advances the clock by the given cycles without executing
+// instructions — the virtual core is parked (race-to-idle's idle time,
+// or the idle tail of a CASH schedule).
+func (s *Sim) AdvanceIdle(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	s.commitCycle += cycles
+	s.commitCount = 0
+	if s.fetchCycle < s.commitCycle {
+		s.fetchCycle = s.commitCycle
+		s.fetchCount = 0
+	}
+}
+
+// next pulls one instruction through the staging buffer.
+func (s *Sim) next(src InstrSource) (isa.Instr, bool) {
+	if s.bufI >= s.bufN {
+		s.bufN = src.Next(s.buf)
+		s.bufI = 0
+		if s.bufN == 0 {
+			return isa.Instr{}, false
+		}
+	}
+	in := s.buf[s.bufI]
+	s.bufI++
+	return in, true
+}
+
+// exec runs one instruction through the timing model.
+func (s *Sim) exec(in isa.Instr) {
+	cfg := s.scfg
+	n := s.n
+
+	// --- Fetch ------------------------------------------------------
+	// The fetch unit streams instruction blocks; blocks interleave
+	// across the composed Slices' L1Is (block mod n), so a multi-Slice
+	// virtual core has proportionally more instruction-cache capacity.
+	if blk := in.PC & fetchBlockMask; blk != s.lastIBlock {
+		s.lastIBlock = blk
+		home := 0
+		iaddr := in.PC
+		if n > 1 {
+			home, iaddr = l1dLocate(in.PC, n)
+		}
+		if hit, _ := s.vc.Slice(home).L1I.Access(iaddr, false); !hit {
+			// L1I miss: probe the L2; a further miss goes to memory.
+			l2hit, delay, _ := s.vc.L2().Access(in.PC, false)
+			stall := int64(delay)
+			if !l2hit {
+				stall += int64(cfg.MemDelay)
+			}
+			s.fetchCycle += stall
+			s.fetchCount = 0
+		}
+	}
+	// ROB occupancy: this slot reuses the entry of the instruction
+	// ROBSize*n back, which must have committed.
+	if free := s.rob[s.robPos]; free > s.fetchCycle {
+		s.fetchCycle = free
+		s.fetchCount = 0
+	}
+	fetch := s.fetchCycle
+	s.fetchCount++
+	if s.fetchCount >= cfg.FetchWidth*n {
+		s.fetchCycle++
+		s.fetchCount = 0
+	}
+
+	dispatch := fetch + frontDepth
+	if n > 1 {
+		dispatch += globalRenameSync
+	}
+
+	// --- Steering & sources -----------------------------------------
+	src1, src2 := in.Src1, in.Src2
+	var r1, r2 int64
+	p1, p2 := -1, -1
+	if src1 != isa.RegZero {
+		r1 = s.regReady[src1]
+		p1 = int(s.regProd[src1])
+	}
+	if src2 != isa.RegZero {
+		r2 = s.regReady[src2]
+		p2 = int(s.regProd[src2])
+	}
+
+	k := s.steer(dispatch, r1, r2, p1, p2, in.Op)
+	sl := s.vc.Slice(k)
+
+	// Operand-network transfers for remote sources (and rename
+	// bookkeeping via the virtual core's global register protocol).
+	if src1 != isa.RegZero {
+		if hops := s.vc.RecordRead(src1, k); hops > 0 {
+			r1 += int64(noc.OperandLatency(hops))
+			sl.Counters.OperandMsgs++
+		}
+	}
+	if src2 != isa.RegZero {
+		if hops := s.vc.RecordRead(src2, k); hops > 0 {
+			r2 += int64(noc.OperandLatency(hops))
+			sl.Counters.OperandMsgs++
+		}
+	}
+
+	// --- Issue -------------------------------------------------------
+	// Window slot: reuses the entry of the instruction IssueWindow back
+	// on this Slice, freed when that instruction issued.
+	start := dispatch
+	if wfree := s.win[k][s.winPos[k]]; wfree > start {
+		start = wfree
+	}
+	if r1 > start {
+		start = r1
+	}
+	if r2 > start {
+		start = r2
+	}
+
+	var done int64
+	switch in.Op {
+	case isa.OpLoad:
+		start, done = s.execLoad(in, k, start, sl)
+	case isa.OpStore:
+		start = s.execStore(in, k, start, sl)
+		done = start // stores produce no value; commit waits for issue only
+	case isa.OpNop:
+		done = start
+	default:
+		if a := s.aluFree[k]; a > start {
+			start = a
+		}
+		lat := int64(in.Op.Latency())
+		done = start + lat
+		if in.Op == isa.OpDiv {
+			s.aluFree[k] = done // unpipelined
+		} else {
+			s.aluFree[k] = start + 1
+		}
+	}
+
+	s.win[k][s.winPos[k]] = start
+	s.winPos[k] = (s.winPos[k] + 1) % cfg.IssueWindow
+
+	// --- Writeback ----------------------------------------------------
+	if in.Dst != isa.RegZero {
+		s.vc.RecordWrite(in.Dst, k)
+		s.regReady[in.Dst] = done
+		s.regProd[in.Dst] = int16(k)
+	}
+
+	// --- Branch resolution --------------------------------------------
+	if in.Op == isa.OpBranch {
+		if in.Mispredict {
+			sl.Counters.BranchMispredicts++
+			penalty := int64(cfg.MispredictPenalty)
+			// Multi-Slice fetch must re-synchronize across the fetch &
+			// BTB sync network (Fig 4) after a squash.
+			penalty += 2 * int64(n-1)
+			if t := done + penalty; t > s.fetchCycle {
+				s.fetchCycle = t
+				s.fetchCount = 0
+			}
+		} else if in.Taken && n > 1 {
+			// Correctly-predicted taken branch: the distributed fetch
+			// group still realigns to the new target across n Slices.
+			s.fetchCycle += int64((n - 1) / 2)
+			s.fetchCount = 0
+		}
+	}
+
+	// --- Commit --------------------------------------------------------
+	c := done + 1
+	if c < s.commitCycle {
+		c = s.commitCycle
+	}
+	if c > s.commitCycle {
+		s.commitCycle = c
+		s.commitCount = 0
+	}
+	s.commitCount++
+	if s.commitCount >= cfg.FetchWidth*n {
+		s.commitCycle++
+		s.commitCount = 0
+	}
+	s.rob[s.robPos] = c
+	s.robPos = (s.robPos + 1) % len(s.rob)
+
+	sl.Counters.Committed++
+	s.committed++
+}
+
+// execLoad models a load on Slice k starting no earlier than `start`.
+// It returns the actual issue time and the completion time.
+func (s *Sim) execLoad(in isa.Instr, k int, start int64, sl *slice.Slice) (int64, int64) {
+	if f := s.lsuFree[k]; f > start {
+		start = f
+	}
+	// In-flight load limit: reuse the slot of the load MaxInflightLoads
+	// back on this Slice.
+	if lfree := s.loads[k][s.loadPos[k]]; lfree > start {
+		start = lfree
+	}
+	s.lsuFree[k] = start + 1
+
+	lat := s.dataAccess(in.Addr, k, false, sl)
+	done := start + lat
+	s.loads[k][s.loadPos[k]] = done
+	s.loadPos[k] = (s.loadPos[k] + 1) % s.scfg.MaxInflightLoads
+	return start, done
+}
+
+// execStore models a store on Slice k. The store retires into the
+// store buffer at issue and drains to the memory system in the
+// background; a full store buffer stalls issue.
+func (s *Sim) execStore(in isa.Instr, k int, start int64, sl *slice.Slice) int64 {
+	if f := s.lsuFree[k]; f > start {
+		start = f
+	}
+	if sfree := s.stores[k][s.storePos[k]]; sfree > start {
+		start = sfree
+	}
+	s.lsuFree[k] = start + 1
+
+	lat := s.dataAccess(in.Addr, k, true, sl)
+	s.stores[k][s.storePos[k]] = start + lat
+	s.storePos[k] = (s.storePos[k] + 1) % s.scfg.StoreBufferSize
+	return start
+}
+
+// dataAccess walks the data path: the address's home L1D bank (remote
+// banks cost load-store sorting-network hops), then the banked L2, then
+// memory. L1s are write-through/write-allocate, so stores mark lines
+// dirty only in the L2 — which is what makes Slice contraction cheap
+// (§VI-A) while L2 reconfiguration pays the dirty flush.
+func (s *Sim) dataAccess(addr uint64, k int, write bool, sl *slice.Slice) int64 {
+	n := s.n
+	bank, bankAddr := l1dLocate(addr, n)
+	lat := int64(mem.L1HitDelay)
+	if bank != k {
+		lat += s.opLat[k*n+bank]
+	}
+	home := s.vc.Slice(bank)
+	l1hit, _ := home.L1D.Access(bankAddr, false)
+	if l1hit && !write {
+		return lat
+	}
+	if !l1hit {
+		sl.Counters.L1DMisses++
+	}
+	// L1 miss (or write-through store): access the L2.
+	l2hit, delay, _ := s.vc.L2().Access(addr, write)
+	if !l1hit {
+		lat += int64(delay)
+		if !l2hit {
+			sl.Counters.L2Misses++
+			lat += int64(s.scfg.MemDelay)
+		}
+	}
+	return lat
+}
+
+// l1dLocate maps a data address to its home Slice's L1D bank and the
+// bank-local address under the load-store sorting network's
+// block-granularity interleave (Fig 4). The (bank, local block) pair is
+// a bijection of the block address, so no aliasing occurs and every L1
+// set stays usable at any Slice count.
+func l1dLocate(addr uint64, n int) (bank int, bankAddr uint64) {
+	if n == 1 {
+		return 0, addr
+	}
+	block := addr / mem.BlockBytes
+	un := uint64(n)
+	return int(block % un), (block / un) * mem.BlockBytes
+}
+
+// steer picks the executing Slice for an instruction.
+func (s *Sim) steer(dispatch, r1, r2 int64, p1, p2 int, op isa.Op) int {
+	n := s.n
+	if n == 1 {
+		return 0
+	}
+	if s.pol == SteerRoundRobin {
+		k := int(s.committed) % n
+		return k
+	}
+	// Greedy earliest-start: for each candidate Slice, estimate when
+	// the instruction could begin (operand transfers + FU availability)
+	// and pick the earliest; ties go to the least-loaded.
+	best, bestStart := 0, int64(1<<62)
+	for k := 0; k < n; k++ {
+		t := dispatch
+		if r1 > 0 {
+			rr := r1
+			if p1 >= 0 && p1 < n {
+				rr += s.opLat[p1*n+k]
+			}
+			if rr > t {
+				t = rr
+			}
+		}
+		if r2 > 0 {
+			rr := r2
+			if p2 >= 0 && p2 < n {
+				rr += s.opLat[p2*n+k]
+			}
+			if rr > t {
+				t = rr
+			}
+		}
+		var fu int64
+		if op.IsMem() {
+			fu = s.lsuFree[k]
+		} else if op.UsesALU() {
+			fu = s.aluFree[k]
+		}
+		if fu > t {
+			t = fu
+		}
+		if wfree := s.win[k][s.winPos[k]]; wfree > t {
+			t = wfree
+		}
+		if t < bestStart {
+			best, bestStart = k, t
+		}
+	}
+	return best
+}
+
+// Describe returns a human-readable summary of the simulated
+// microarchitecture (Tables I and II), for the harness output.
+func Describe(cfg slice.Config) string {
+	return fmt.Sprintf(
+		"Slice: %d FUs, %d phys regs, %d local regs, IW=%d, ROB=%d, SB=%d, loads<=%d, mem=%d cyc, bp penalty=%d\n"+
+			"L1: %dKB %d-way %dB blocks, %d-cycle hit; L2: %dKB %d-way banks, hit=distance*2+4; memory: %d cycles",
+		cfg.FunctionalUnits, cfg.PhysRegs, cfg.LocalRegs, cfg.IssueWindow, cfg.ROBSize,
+		cfg.StoreBufferSize, cfg.MaxInflightLoads, cfg.MemDelay, cfg.MispredictPenalty,
+		mem.L1SizeKB, mem.L1Assoc, mem.BlockBytes, mem.L1HitDelay,
+		mem.L2BankKB, mem.L2Assoc, mem.MemDelay)
+}

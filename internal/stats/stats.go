@@ -1,0 +1,196 @@
+// Package stats provides the small statistical and rendering helpers
+// the evaluation harness uses: geometric means (the paper reports
+// geomean costs), series resampling for time-series figures, and ASCII
+// rendering of contour grids and time series so every figure can be
+// regenerated in a terminal.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of the values. Non-positive values
+// are ignored (a zero cost would otherwise collapse the mean); an empty
+// input yields 0.
+func Geomean(values []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range values {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Min and Max return the extrema (0 for empty input).
+func Min(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for empty input).
+func Max(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Resample reduces a series to n points by averaging buckets — how the
+// harness condenses thousands of quantum samples into the row counts
+// the paper's time-series figures plot.
+func Resample(series []float64, n int) []float64 {
+	if n <= 0 || len(series) == 0 {
+		return nil
+	}
+	if n >= len(series) {
+		out := make([]float64, len(series))
+		copy(out, series)
+		return out
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(series) / n
+		hi := (i + 1) * len(series) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out[i] = Mean(series[lo:hi])
+	}
+	return out
+}
+
+// contourShades maps normalized intensity to ASCII, darkest to
+// brightest — the harness's stand-in for Fig 1's contour shading.
+var contourShades = []byte(" .:-=+*#%@")
+
+// RenderGrid renders a performance surface as an ASCII contour plot.
+// rows are labelled by rowLabel(i), columns by colLabels; intensity is
+// normalized to the grid's maximum (the paper normalizes each phase's
+// contour to its own optimum).
+func RenderGrid(grid [][]float64, rowLabel func(int) string, colLabels []string) string {
+	max := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	for i := len(grid) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "%8s |", rowLabel(i))
+		for _, v := range grid[i] {
+			shade := byte(' ')
+			if max > 0 {
+				idx := int(v / max * float64(len(contourShades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(contourShades) {
+					idx = len(contourShades) - 1
+				}
+				shade = contourShades[idx]
+			}
+			fmt.Fprintf(&b, " %c%c ", shade, shade)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8s +", "")
+	for range colLabels {
+		b.WriteString("----")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%8s  ", "")
+	for _, l := range colLabels {
+		fmt.Fprintf(&b, "%4s", l)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderSeries renders one or more aligned series as an ASCII chart of
+// the given height, with a legend. Series are drawn with distinct
+// marks; values are normalized to the combined range.
+func RenderSeries(names []string, series [][]float64, height int) string {
+	if len(series) == 0 || height < 2 {
+		return ""
+	}
+	width := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s) > width {
+			width = len(s)
+		}
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if width == 0 || math.IsInf(lo, 1) {
+		return ""
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	marks := []byte("o+x*#@")
+	rows := make([][]byte, height)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for x, v := range s {
+			y := int((v-lo)/(hi-lo)*float64(height-1) + 0.5)
+			rows[height-1-y][x] = mark
+		}
+	}
+	var b strings.Builder
+	for i, row := range rows {
+		val := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", val, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	legend := make([]string, 0, len(names))
+	for i, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[i%len(marks)], n))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}

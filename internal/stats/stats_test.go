@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	if g := Geomean([]float64{0, -1, 4}); g != 4 {
+		t.Errorf("non-positive values must be ignored: %v", g)
+	}
+}
+
+func TestGeomeanBetweenMinMaxQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			vals = append(vals, 0.001+float64(r))
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := Geomean(vals)
+		return g >= Min(vals)-1e-9 && g <= Max(vals)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	v := []float64{3, 1, 2}
+	if Mean(v) != 2 || Min(v) != 1 || Max(v) != 3 {
+		t.Errorf("Mean/Min/Max = %v/%v/%v", Mean(v), Min(v), Max(v))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty inputs must give zero")
+	}
+}
+
+func TestResample(t *testing.T) {
+	in := []float64{1, 1, 2, 2, 3, 3}
+	out := Resample(in, 3)
+	if len(out) != 3 || out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Errorf("Resample = %v", out)
+	}
+	if got := Resample(in, 100); len(got) != len(in) {
+		t.Error("upsampling must return a copy of the input")
+	}
+	if Resample(in, 0) != nil || Resample(nil, 5) != nil {
+		t.Error("degenerate inputs must return nil")
+	}
+}
+
+func TestResamplePreservesMeanQuick(t *testing.T) {
+	f := func(raw []uint8, nRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]float64, len(raw))
+		for i, r := range raw {
+			in[i] = float64(r)
+		}
+		n := 1 + int(nRaw%16)
+		out := Resample(in, n)
+		// Bucket means stay within the global range.
+		for _, v := range out {
+			if v < Min(in)-1e-9 || v > Max(in)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	grid := [][]float64{{0, 1}, {2, 3}}
+	out := RenderGrid(grid, func(i int) string { return "r" }, []string{"a", "b"})
+	if !strings.Contains(out, "@") {
+		t.Error("maximum cell should render the brightest shade")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("column labels missing")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 4 {
+		t.Error("grid render too short")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries([]string{"x", "y"},
+		[][]float64{{1, 2, 3}, {3, 2, 1}}, 5)
+	if !strings.Contains(out, "o=x") || !strings.Contains(out, "+=y") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if RenderSeries(nil, nil, 5) != "" {
+		t.Error("empty input must render nothing")
+	}
+	if RenderSeries([]string{"x"}, [][]float64{{}}, 5) != "" {
+		t.Error("empty series must render nothing")
+	}
+	// A constant series must not divide by zero.
+	if out := RenderSeries([]string{"c"}, [][]float64{{5, 5, 5}}, 4); out == "" {
+		t.Error("constant series should still render")
+	}
+}

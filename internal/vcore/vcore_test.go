@@ -1,0 +1,251 @@
+package vcore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cash/internal/isa"
+	"cash/internal/mem"
+	"cash/internal/slice"
+)
+
+func TestConfigSpace(t *testing.T) {
+	space := Space()
+	if len(space) != 64 {
+		t.Fatalf("space has %d points, want 64 (8 slices × 8 L2 sizes)", len(space))
+	}
+	seen := map[Config]bool{}
+	for i, c := range space {
+		if err := c.Validate(); err != nil {
+			t.Errorf("space[%d] invalid: %v", i, err)
+		}
+		if seen[c] {
+			t.Errorf("duplicate configuration %s", c)
+		}
+		seen[c] = true
+		if c.Index() != i {
+			t.Errorf("%s: Index() = %d, want %d", c, c.Index(), i)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Slices: 0, L2KB: 64},
+		{Slices: 9, L2KB: 64},
+		{Slices: 1, L2KB: 32},
+		{Slices: 1, L2KB: 16384},
+		{Slices: 1, L2KB: 96},
+	}
+	for _, c := range bad {
+		if c.Valid() {
+			t.Errorf("%s should be invalid", c)
+		}
+	}
+	if (Config{Slices: 3, L2KB: 256}).Index() < 0 {
+		t.Error("valid config must index into the space")
+	}
+	if (Config{}).Index() != -1 {
+		t.Error("invalid config must index to -1")
+	}
+}
+
+func TestConfigBanksAndString(t *testing.T) {
+	c := Config{Slices: 2, L2KB: 512}
+	if c.Banks() != 8 {
+		t.Errorf("Banks = %d, want 8", c.Banks())
+	}
+	if c.String() != "2s/512KB" {
+		t.Errorf("String = %q", c.String())
+	}
+	if Min() != (Config{Slices: 1, L2KB: 64}) || Max() != (Config{Slices: 8, L2KB: 8192}) {
+		t.Error("Min/Max bounds wrong")
+	}
+}
+
+func TestExpandCost(t *testing.T) {
+	v := MustNew(Config{Slices: 2, L2KB: 128}, slice.DefaultConfig())
+	stall, err := v.Reconfigure(Config{Slices: 4, L2KB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall != slice.ExpandCycles {
+		t.Errorf("expansion stall = %d, want %d (§VI-A)", stall, slice.ExpandCycles)
+	}
+	if len(v.Slices()) != 4 || v.Config().Slices != 4 {
+		t.Error("expansion did not grow the slice set")
+	}
+}
+
+func TestShrinkCostBounded(t *testing.T) {
+	v := MustNew(Config{Slices: 4, L2KB: 128}, slice.DefaultConfig())
+	for g := 1; g < isa.NumGlobalRegs; g++ {
+		v.RecordWrite(isa.Reg(g), g%4)
+	}
+	stall, err := v.Reconfigure(Config{Slices: 1, L2KB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := int64(slice.ExpandCycles + slice.MaxRegisterFlushCycles)
+	if stall < slice.ExpandCycles || stall > max {
+		t.Errorf("shrink stall = %d, want within [%d,%d] (§VI-A)", stall, slice.ExpandCycles, max)
+	}
+}
+
+func TestShrinkConservesRegisters(t *testing.T) {
+	v := MustNew(Config{Slices: 4, L2KB: 128}, slice.DefaultConfig())
+	versions := map[isa.Reg]uint64{}
+	for g := 1; g <= 60; g++ {
+		reg := isa.Reg(g)
+		versions[reg] = v.RecordWrite(reg, g%4)
+	}
+	if _, err := v.Reconfigure(Config{Slices: 2, L2KB: 128}); err != nil {
+		t.Fatal(err)
+	}
+	for reg, want := range versions {
+		holder := v.PrimaryHolder(reg)
+		if holder < 0 {
+			// Spilled to the memory backing: version must survive.
+			if v.Version(reg) != want {
+				t.Errorf("r%d spilled with version %d, want %d", reg, v.Version(reg), want)
+			}
+			continue
+		}
+		if holder >= 2 {
+			t.Errorf("r%d primary on removed slice %d", reg, holder)
+			continue
+		}
+		p, ver, ok := v.Slice(holder).Rename.Lookup(reg)
+		if !ok || !p {
+			t.Errorf("r%d: survivor %d does not hold the primary copy", reg, holder)
+		}
+		if ver != want {
+			t.Errorf("r%d: version %d after flush, want %d (Fig 5 conservation)", reg, ver, want)
+		}
+	}
+}
+
+func TestShrinkConservationQuick(t *testing.T) {
+	f := func(writes []uint16, toRaw uint8) bool {
+		v := MustNew(Config{Slices: 8, L2KB: 64}, slice.DefaultConfig())
+		latest := map[isa.Reg]uint64{}
+		for _, w := range writes {
+			g := isa.Reg(w%120) + 1
+			latest[g] = v.RecordWrite(g, int(w)%8)
+			if w%5 == 0 {
+				v.RecordRead(g, int(w/3)%8)
+			}
+		}
+		to := 1 + int(toRaw%7)
+		if _, err := v.Reconfigure(Config{Slices: to, L2KB: 64}); err != nil {
+			return false
+		}
+		for g, want := range latest {
+			if v.Version(g) != want {
+				return false
+			}
+			if h := v.PrimaryHolder(g); h >= to {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2ReconfigureFlushCost(t *testing.T) {
+	v := MustNew(Config{Slices: 1, L2KB: 64}, slice.DefaultConfig())
+	var dirty int
+	for a := uint64(0); a < 32*1024; a += mem.BlockBytes {
+		v.L2().Access(a, true)
+		dirty++
+	}
+	stall, err := v.Reconfigure(Config{Slices: 1, L2KB: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mem.FlushCycles(dirty); stall != want {
+		t.Errorf("L2 stall = %d, want %d (dirty-line flush)", stall, want)
+	}
+	if v.L2().SizeKB() != 256 {
+		t.Errorf("L2 size = %dKB, want 256", v.L2().SizeKB())
+	}
+}
+
+func TestReconfigureNoop(t *testing.T) {
+	cfg := Config{Slices: 2, L2KB: 128}
+	v := MustNew(cfg, slice.DefaultConfig())
+	stall, err := v.Reconfigure(cfg)
+	if err != nil || stall != 0 {
+		t.Errorf("no-op reconfigure: stall=%d err=%v", stall, err)
+	}
+	if _, err := v.Reconfigure(Config{}); err == nil {
+		t.Error("invalid target must fail")
+	}
+}
+
+func TestOperandReadAccounting(t *testing.T) {
+	v := MustNew(Config{Slices: 4, L2KB: 64}, slice.DefaultConfig())
+	v.RecordWrite(7, 0)
+	if hops := v.RecordRead(7, 0); hops != 0 {
+		t.Errorf("local read cost %d hops, want 0", hops)
+	}
+	if hops := v.RecordRead(7, 3); hops != 3 {
+		t.Errorf("remote read cost %d hops, want 3 (column layout)", hops)
+	}
+	// The reader now holds a copy: the next read is free.
+	if hops := v.RecordRead(7, 3); hops != 0 {
+		t.Errorf("cached read cost %d hops, want 0", hops)
+	}
+}
+
+func TestWriteDemotesOldPrimary(t *testing.T) {
+	v := MustNew(Config{Slices: 2, L2KB: 64}, slice.DefaultConfig())
+	v.RecordWrite(5, 0)
+	v.RecordWrite(5, 1)
+	if v.PrimaryHolder(5) != 1 {
+		t.Errorf("primary holder = %d, want 1", v.PrimaryHolder(5))
+	}
+	if p, _, ok := v.Slice(0).Rename.Lookup(5); ok && p {
+		t.Error("old primary must be demoted")
+	}
+}
+
+func TestCountersSurviveShrink(t *testing.T) {
+	v := MustNew(Config{Slices: 4, L2KB: 64}, slice.DefaultConfig())
+	for i := 0; i < 4; i++ {
+		v.Slice(i).Counters.Committed = 100
+	}
+	if _, err := v.Reconfigure(Config{Slices: 1, L2KB: 64}); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range v.Slices() {
+		total += s.Counters.Committed
+	}
+	if total != 400 {
+		t.Errorf("committed counters after shrink = %d, want 400 (§III-B2 accounting)", total)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	v := MustNew(Config{Slices: 1, L2KB: 64}, slice.DefaultConfig())
+	v.Reconfigure(Config{Slices: 4, L2KB: 128})
+	v.Reconfigure(Config{Slices: 2, L2KB: 64})
+	st := v.Stats()
+	if st.SliceExpands != 1 || st.SliceShrinks != 1 || st.L2Reconfigs != 2 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.StallCycles <= 0 {
+		t.Error("stall cycles should accumulate")
+	}
+}
+
+func TestL2Steps(t *testing.T) {
+	steps := L2Steps()
+	if len(steps) != 8 || steps[0] != 64 || steps[7] != 8192 {
+		t.Errorf("L2Steps = %v", steps)
+	}
+}

@@ -1,0 +1,376 @@
+package workload
+
+import (
+	"fmt"
+
+	"cash/internal/isa"
+)
+
+// recentWindow is how many recent producer registers a generated
+// dependence can reach back to. It matches the per-Slice local register
+// file size (Table I: 64 local registers per Slice).
+const recentWindow = 64
+
+// Gen deterministically produces an application's dynamic instruction
+// stream. The same (app, seed) pair always yields the same stream.
+//
+// Gen is not safe for concurrent use; create one per simulation.
+type Gen struct {
+	app  App
+	seed uint64
+
+	phase      int   // current phase index
+	phaseInstr int64 // instructions emitted within the current phase
+	total      int64 // instructions emitted overall
+
+	r  rng
+	pg phaseGen
+}
+
+// NewGen returns a generator positioned at the start of the application.
+// It panics if the application definition is invalid; definitions are
+// static data, so a bad one is a programming error.
+func NewGen(app App, seed uint64) *Gen {
+	if err := app.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.NewGen: %v", err))
+	}
+	g := &Gen{app: app, seed: seed}
+	g.Reset()
+	return g
+}
+
+// Reset rewinds the generator to the beginning of the application.
+func (g *Gen) Reset() {
+	g.phase = 0
+	g.phaseInstr = 0
+	g.total = 0
+	g.r = newRNG(g.seed)
+	g.pg.init(&g.app.Phases[0], 0)
+}
+
+// App returns the application definition the generator walks.
+func (g *Gen) App() App { return g.app }
+
+// PhaseIndex returns the index of the phase the next instruction
+// belongs to, or len(phases)-1 once the stream is exhausted.
+func (g *Gen) PhaseIndex() int { return g.phase }
+
+// Emitted returns the number of instructions generated so far.
+func (g *Gen) Emitted() int64 { return g.total }
+
+// Remaining returns how many instructions are left in the stream.
+func (g *Gen) Remaining() int64 { return g.app.TotalInstrs() - g.total }
+
+// Done reports whether the stream is exhausted.
+func (g *Gen) Done() bool { return g.Remaining() <= 0 }
+
+// Next fills buf with up to len(buf) instructions and returns how many
+// were produced. It returns 0 only when the stream is exhausted.
+// A phase boundary ends the fill early so callers always observe
+// homogeneous-phase blocks.
+func (g *Gen) Next(buf []isa.Instr) int {
+	if g.Done() || len(buf) == 0 {
+		return 0
+	}
+	p := &g.app.Phases[g.phase]
+	n := int64(len(buf))
+	if left := p.Instrs - g.phaseInstr; n > left {
+		n = left
+	}
+	for i := int64(0); i < n; i++ {
+		buf[i] = g.pg.gen(&g.r)
+	}
+	g.phaseInstr += n
+	g.total += n
+	if g.phaseInstr >= p.Instrs && g.phase < len(g.app.Phases)-1 {
+		g.phase++
+		g.phaseInstr = 0
+		g.pg.init(&g.app.Phases[g.phase], g.phase)
+	}
+	return int(n)
+}
+
+// PhaseGen generates the steady-state instruction stream of a single
+// phase forever. The oracle uses it to characterise one (phase, config)
+// point without running the whole application.
+type PhaseGen struct {
+	r  rng
+	pg phaseGen
+}
+
+// NewPhaseGen returns a generator for one phase. phaseIndex seeds the
+// phase's address-space base so different phases touch different data,
+// just as they would in Gen.
+func NewPhaseGen(p Phase, phaseIndex int, seed uint64) *PhaseGen {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.NewPhaseGen: %v", err))
+	}
+	g := &PhaseGen{r: newRNG(seed)}
+	g.pg.init(&p, phaseIndex)
+	return g
+}
+
+// Next fills buf and returns len(buf); a phase stream never ends.
+func (g *PhaseGen) Next(buf []isa.Instr) int {
+	for i := range buf {
+		buf[i] = g.pg.gen(&g.r)
+	}
+	return len(buf)
+}
+
+// phaseGen holds the per-phase sampling state shared by Gen and PhaseGen.
+type phaseGen struct {
+	p *Phase
+
+	// Cumulative mix thresholds, scaled to uint64 for branch-free pick.
+	thrALU, thrMul, thrDiv, thrFPU, thrLoad, thrStore uint64
+
+	// Dependence bookkeeping: ring of the most recent destination
+	// registers, so a sampled dependence distance resolves to a concrete
+	// architectural register.
+	recent    [recentWindow]isa.Reg
+	recentLen int
+	recentPos int
+	nextDst   isa.Reg
+
+	// Address-generation state.
+	hotBase    uint64
+	midBase    uint64
+	midSize    uint64
+	mainBase   uint64
+	mainSize   uint64 // bytes beyond the hot and mid sets
+	hotSize    uint64
+	streamPos  uint64
+	depDistMax int64 // dependence distances sampled uniformly in [1, depDistMax]
+
+	// Instruction-address state. Code lives in its own region sized
+	// from the data footprint (big-footprint codes like gcc also have
+	// big instruction footprints); branches mostly jump within a small
+	// hot loop body, occasionally across the whole region.
+	pc       uint64
+	codeBase uint64
+	codeSize uint64
+	hotCode  uint64
+}
+
+// Code-region modelling constants.
+const (
+	codeBaseKB    = 48  // minimum code footprint
+	codeWSDivisor = 8   // extra code per working-set KB
+	codeMaxKB     = 384 // cap
+	hotCodeKB     = 8   // hot loop body size
+	takenFrac     = 0.55
+	hotTargetFrac = 0.95
+)
+
+// Region is a contiguous address range touched by a phase.
+type Region struct {
+	Base, Size uint64
+}
+
+// Regions describes where a phase's memory traffic lands, for cache
+// prewarming by the characterisation harness (the oracle measures
+// steady-state IPC, so it prefills caches instead of burning simulated
+// instructions on warmup).
+type Regions struct {
+	// Hot is the small L1-resident data region.
+	Hot Region
+	// Mid is the optional intermediate working set (zero Size if unused).
+	Mid Region
+	// Main is the bulk working set beyond the hot and mid regions.
+	Main Region
+	// Code is the instruction footprint; HotCode its hot loop body.
+	Code, HotCode Region
+}
+
+// Regions returns the address layout phase p uses when it is the
+// phaseIndex-th phase of an application (or of a PhaseGen). A non-zero
+// RegionID redirects the phase onto another phase's region.
+func (p Phase) Regions(phaseIndex int) Regions {
+	if p.RegionID > 0 {
+		phaseIndex = p.RegionID - 1
+	}
+	base := uint64(phaseIndex+1) << 28
+	hotSize := uint64(p.HotSetKB) * 1024
+	midSize := uint64(p.MidSetKB) * 1024
+	mainSize := uint64(p.WorkingSetKB-p.HotSetKB-p.MidSetKB) * 1024
+	if mainSize == 0 {
+		mainSize = 64
+	}
+	codeKB := codeBaseKB + p.WorkingSetKB/codeWSDivisor
+	if codeKB > codeMaxKB {
+		codeKB = codeMaxKB
+	}
+	codeBase := base | 1<<40
+	return Regions{
+		Hot:     Region{Base: base, Size: hotSize},
+		Mid:     Region{Base: base + hotSize, Size: midSize},
+		Main:    Region{Base: base + hotSize + midSize, Size: mainSize},
+		Code:    Region{Base: codeBase, Size: uint64(codeKB) * 1024},
+		HotCode: Region{Base: codeBase, Size: hotCodeKB * 1024},
+	}
+}
+
+const maxUint = ^uint64(0)
+
+func (pg *phaseGen) init(p *Phase, phaseIndex int) {
+	pg.p = p
+	m := p.Mix.Normalize()
+	acc := 0.0
+	cum := func(f float64) uint64 {
+		acc += f
+		if acc >= 1 {
+			return maxUint
+		}
+		return uint64(acc * float64(maxUint))
+	}
+	pg.thrALU = cum(m.ALU)
+	pg.thrMul = cum(m.Mul)
+	pg.thrDiv = cum(m.Div)
+	pg.thrFPU = cum(m.FPU)
+	pg.thrLoad = cum(m.Load)
+	pg.thrStore = cum(m.Store)
+
+	pg.recentLen = 0
+	pg.recentPos = 0
+	pg.nextDst = 1
+
+	// Each phase gets its own 256MB-aligned address region so phase
+	// transitions naturally incur cold misses.
+	rg0 := p.Regions(phaseIndex)
+	pg.hotBase = rg0.Hot.Base
+	pg.hotSize = rg0.Hot.Size
+	pg.midBase = rg0.Mid.Base
+	pg.midSize = rg0.Mid.Size
+	pg.mainBase = rg0.Main.Base
+	pg.mainSize = rg0.Main.Size
+	pg.streamPos = 0
+	pg.depDistMax = int64(2*p.MeanDepDist) - 1
+	if pg.depDistMax < 1 {
+		pg.depDistMax = 1
+	}
+
+	rg := p.Regions(phaseIndex)
+	pg.codeBase = rg.Code.Base
+	pg.codeSize = rg.Code.Size
+	pg.hotCode = rg.HotCode.Size
+	pg.pc = pg.codeBase
+}
+
+// gen produces one instruction.
+func (pg *phaseGen) gen(r *rng) isa.Instr {
+	var in isa.Instr
+	u := r.next()
+	switch {
+	case u < pg.thrALU:
+		in.Op = isa.OpALU
+	case u < pg.thrMul:
+		in.Op = isa.OpMul
+	case u < pg.thrDiv:
+		in.Op = isa.OpDiv
+	case u < pg.thrFPU:
+		in.Op = isa.OpFPU
+	case u < pg.thrLoad:
+		in.Op = isa.OpLoad
+	case u < pg.thrStore:
+		in.Op = isa.OpStore
+	default:
+		in.Op = isa.OpBranch
+	}
+
+	// Source dependences.
+	if r.float64() < pg.p.DepFrac {
+		in.Src1 = pg.depReg(r)
+		if r.float64() < pg.p.SecondSrcFrac {
+			in.Src2 = pg.depReg(r)
+		}
+	}
+
+	switch in.Op {
+	case isa.OpLoad:
+		in.Addr = pg.genAddr(r)
+		in.Dst = pg.allocDst()
+	case isa.OpStore:
+		in.Addr = pg.genAddr(r)
+		// Stores consume a value; ensure at least one source.
+		if in.Src1 == isa.RegZero {
+			in.Src1 = pg.depReg(r)
+		}
+	case isa.OpBranch:
+		in.Mispredict = r.float64() < pg.p.MispredictRate
+	default:
+		in.Dst = pg.allocDst()
+	}
+
+	in.PC = pg.pc
+	if in.Op == isa.OpBranch && r.float64() < takenFrac {
+		in.Taken = true
+		// Taken branch: usually back into the hot loop body, sometimes
+		// across the whole code region (call/return, cold paths).
+		if r.float64() < hotTargetFrac {
+			pg.pc = pg.codeBase + (r.next()%pg.hotCode)&^3
+		} else {
+			pg.pc = pg.codeBase + (r.next()%pg.codeSize)&^3
+		}
+	} else {
+		pg.pc += 4
+		if pg.pc >= pg.codeBase+pg.codeSize {
+			pg.pc = pg.codeBase
+		}
+	}
+	return in
+}
+
+// depReg resolves a sampled dependence distance to a recent producer.
+func (pg *phaseGen) depReg(r *rng) isa.Reg {
+	if pg.recentLen == 0 {
+		return isa.RegZero
+	}
+	d := 1 + r.intn(pg.depDistMax)
+	if d > int64(pg.recentLen) {
+		d = int64(pg.recentLen)
+	}
+	idx := pg.recentPos - int(d)
+	if idx < 0 {
+		idx += recentWindow
+	}
+	return pg.recent[idx]
+}
+
+// allocDst picks the next destination register round-robin through the
+// architectural namespace (skipping the zero register) and records it
+// as a recent producer.
+func (pg *phaseGen) allocDst() isa.Reg {
+	d := pg.nextDst
+	pg.nextDst++
+	if !pg.nextDst.Valid() {
+		pg.nextDst = 1
+	}
+	pg.recent[pg.recentPos] = d
+	pg.recentPos++
+	if pg.recentPos == recentWindow {
+		pg.recentPos = 0
+	}
+	if pg.recentLen < recentWindow {
+		pg.recentLen++
+	}
+	return d
+}
+
+// genAddr produces a data address according to the phase's locality model.
+func (pg *phaseGen) genAddr(r *rng) uint64 {
+	if r.float64() < pg.p.HotFrac {
+		return pg.hotBase + (r.next()%pg.hotSize)&^7
+	}
+	if pg.midSize > 0 && r.float64() < pg.p.MidFrac {
+		return pg.midBase + (r.next()%pg.midSize)&^7
+	}
+	if r.float64() < pg.p.StreamFrac {
+		pg.streamPos += uint64(pg.p.Stride)
+		if pg.streamPos >= pg.mainSize {
+			pg.streamPos = 0
+		}
+		return pg.mainBase + pg.streamPos&^7
+	}
+	return pg.mainBase + (r.next()%pg.mainSize)&^7
+}

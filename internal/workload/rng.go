@@ -1,0 +1,37 @@
+package workload
+
+// rng is a SplitMix64 pseudo-random generator.
+//
+// Workload generation sits on the simulator's hot path and must be both
+// fast and bit-for-bit deterministic across runs and platforms, so we
+// use a tiny fixed-algorithm generator instead of math/rand (whose
+// default source changed across Go releases).
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) rng {
+	// Avoid the all-zero fixed point and decorrelate nearby seeds.
+	r := rng{state: seed + 0x9e3779b97f4a7c15}
+	r.next()
+	return r
+}
+
+// next returns the next 64 pseudo-random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
