@@ -1,0 +1,23 @@
+# Development targets. `make check` is the gate to run before sending a
+# change: vet + the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -34,6 +34,7 @@ import (
 	"cash/internal/cashrt"
 	"cash/internal/cost"
 	"cash/internal/experiment"
+	"cash/internal/fault"
 	"cash/internal/figs"
 	"cash/internal/oracle"
 	"cash/internal/slice"
@@ -105,6 +106,24 @@ type (
 	Oracle = oracle.DB
 )
 
+// Fault-injection types (robustness study). Set RunOptions.Faults to a
+// schedule to host a run on a fabric chip with injected tile faults;
+// Result.FaultStats reports what happened.
+type (
+	// FaultSchedule is a deterministic list of tile fault events.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled tile strike (optionally transient).
+	FaultEvent = fault.Event
+	// FaultSpec parameterises random schedule generation.
+	FaultSpec = fault.Spec
+	// FaultStats summarises injected-fault activity over a run.
+	FaultStats = experiment.FaultStats
+)
+
+// GenerateFaults draws a random, reproducible fault schedule: the same
+// spec always yields the same schedule.
+func GenerateFaults(spec FaultSpec) (FaultSchedule, error) { return fault.Generate(spec) }
+
 // ConfigSpace returns the full 8×8 virtual-core configuration grid.
 func ConfigSpace() []Config { return vcore.Space() }
 
@@ -156,15 +175,33 @@ func Run(app App, policy Allocator, opts RunOptions) (Result, error) {
 // defaults. Use LoadCache/SaveCache to persist the brute-force sweep.
 func NewOracle() *Oracle { return oracle.NewDB() }
 
+// ReproduceOptions tune Reproduce beyond the workload scale.
+type ReproduceOptions struct {
+	// Scale shrinks the workloads (0 or 1.0 = the full evaluation).
+	Scale float64
+	// FaultRate and FaultSeed parameterise the "reliability" artifact's
+	// injected-fault schedule (0 = that study's defaults).
+	FaultRate float64
+	FaultSeed uint64
+}
+
 // Reproduce regenerates a named artifact of the paper's evaluation
 // ("fig1", "fig2", "table1", "table2", "overhead", "fig7", "table3",
-// "fig8", "fig9", "fig10", "ablations", or "all"), writing the report
-// to w. scale shrinks the workloads (1.0 = the full evaluation).
+// "fig8", "fig9", "fig10", "ablations", "reliability", or "all"),
+// writing the report to w. scale shrinks the workloads (1.0 = the full
+// evaluation).
 func Reproduce(w io.Writer, artifact string, scale float64) error {
+	return ReproduceWith(w, artifact, ReproduceOptions{Scale: scale})
+}
+
+// ReproduceWith is Reproduce with full options.
+func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 	h := figs.New(w)
-	if scale > 0 {
-		h.Scale = scale
+	if o.Scale > 0 {
+		h.Scale = o.Scale
 	}
+	h.FaultRate = o.FaultRate
+	h.FaultSeed = o.FaultSeed
 	defer h.Save()
 	runFig7 := func() error {
 		res, err := h.Fig7()
@@ -198,6 +235,9 @@ func Reproduce(w io.Writer, artifact string, scale float64) error {
 		return err
 	case "ablations":
 		return h.Ablations()
+	case "reliability":
+		_, err := h.Reliability()
+		return err
 	case "all":
 		h.Table1()
 		h.Table2()
@@ -205,6 +245,7 @@ func Reproduce(w io.Writer, artifact string, scale float64) error {
 			h.Fig1, h.Fig2, h.Overhead, runFig7, h.Fig8, h.Fig9,
 			func() error { _, err := h.Fig10(); return err },
 			h.Ablations,
+			func() error { _, err := h.Reliability(); return err },
 		} {
 			if err := f(); err != nil {
 				return err

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	cashsim [-scale f] [-out file] <artifact>
+//	cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] <artifact>
 //
 // where artifact is one of: fig1 fig2 table1 table2 overhead fig7
-// table3 fig8 fig9 fig10 ablations all.
+// table3 fig8 fig9 fig10 ablations reliability all.
+//
+// The reliability artifact injects tile faults into a small fabric chip
+// and reports how CASH and static provisioning degrade; -fault-rate
+// (strikes per million cycles) and -fault-seed parameterise its
+// reproducible schedule and print per-policy fault/remap/degradation
+// counters.
 //
 // The brute-force characterisation (§V-C) is cached on disk
 // ($CASH_ORACLE_CACHE or the user cache directory), so repeated
@@ -27,9 +33,11 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full evaluation)")
 	out := flag.String("out", "", "write the report to a file instead of stdout")
+	faultRate := flag.Float64("fault-rate", 0, "reliability study: strikes per million cycles (0 = default)")
+	faultSeed := flag.Uint64("fault-seed", 0, "reliability study: fault-schedule seed (0 = default)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] <artifact>\n\n")
-		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations all\n")
+		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] <artifact>\n\n")
+		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,7 +58,8 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := cash.Reproduce(w, flag.Arg(0), *scale); err != nil {
+	opts := cash.ReproduceOptions{Scale: *scale, FaultRate: *faultRate, FaultSeed: *faultSeed}
+	if err := cash.ReproduceWith(w, flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cashsim:", err)
 		os.Exit(1)
 	}

@@ -31,6 +31,11 @@ type Observation struct {
 	// Probe marks a measurement step run in a quantum's idle tail; it
 	// informs learning but is not the quantum's "real" tenancy.
 	Probe bool
+	// Degraded marks a step that ran below the configuration the
+	// allocator asked for: the fabric denied an expansion (no healthy
+	// free tiles) or a fault forced a mid-quantum shrink. Config holds
+	// what actually ran — the capacity currently available.
+	Degraded bool
 	// Phase is the workload phase index active when the step ended.
 	// Only the oracle policy may consult it; adaptive policies must
 	// infer phases from QoS feedback alone.

@@ -263,3 +263,112 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Errorf("disabled margin: controller target = %v", r2.ctrl.Target)
 	}
 }
+
+// TestDegradationBackoff drives the runtime against a synthetic fabric
+// whose capacity is capped below what the QoS target needs. The runtime
+// must clamp its plans to the granted capacity between retries, and the
+// retries must thin out exponentially instead of hammering the fabric
+// every quantum.
+func TestDegradationBackoff(t *testing.T) {
+	r := MustNew(0.8, cost.Default(), Options{Seed: 1})
+	tau := int64(100_000)
+	capCfg := vcore.Config{Slices: 2, L2KB: 256}
+
+	exceeds := func(c vcore.Config) bool {
+		return c.Slices > capCfg.Slices || c.L2KB > capCfg.L2KB
+	}
+	// Synthetic plant: QoS scales with slices, so 0.8 needs 3+ slices —
+	// permanently beyond the cap.
+	respond := func(plan alloc.Plan) (obs []alloc.Observation, denied bool) {
+		for _, s := range plan.Steps {
+			if s.Idle || s.MaxCycles <= 0 {
+				continue
+			}
+			cfg, deniedStep := s.Config, false
+			if exceeds(cfg) {
+				cfg, deniedStep, denied = capCfg, true, true
+			}
+			qos := 0.3 * float64(cfg.Slices)
+			obs = append(obs, alloc.Observation{
+				Config: cfg, Cycles: s.MaxCycles,
+				Instrs: int64(qos * float64(s.MaxCycles)),
+				QoS:    qos, Degraded: deniedStep,
+			})
+		}
+		return obs, denied
+	}
+
+	var prev []alloc.Observation
+	denials, clampedViolations := 0, 0
+	for q := 0; q < 40; q++ {
+		plan := r.Decide(prev, tau)
+		var d bool
+		prev, d = respond(plan)
+		if d {
+			denials++
+		}
+		// While a backoff window is open the plan must stay within the cap.
+		if !d && r.backoffLeft > 0 {
+			for _, s := range plan.Steps {
+				if exceeds(s.Config) {
+					clampedViolations++
+				}
+			}
+		}
+	}
+	if denials == 0 {
+		t.Fatal("the plant never denied anything; the scenario is wrong")
+	}
+	if denials > 10 {
+		t.Errorf("%d denials in 40 quanta: backoff is not thinning retries", denials)
+	}
+	if r.Backoffs < 3 {
+		t.Errorf("only %d backoff windows entered", r.Backoffs)
+	}
+	if clampedViolations != 0 {
+		t.Errorf("%d plan steps exceeded the cap inside a backoff window", clampedViolations)
+	}
+
+	// Capacity returns: the next retry is granted and the clamp must lift.
+	capCfg = vcore.Max()
+	sawBig := false
+	for q := 0; q < maxExpandBackoff+5; q++ {
+		plan := r.Decide(prev, tau)
+		prev, _ = respond(plan)
+		for _, s := range plan.Steps {
+			if s.Config.Slices > 2 {
+				sawBig = true
+			}
+		}
+	}
+	if !sawBig {
+		t.Error("after capacity returned the runtime never expanded again")
+	}
+	if r.backoffLen != 0 {
+		t.Errorf("backoff state not reset after a granted retry: len=%d", r.backoffLen)
+	}
+}
+
+// TestNoBackoffWithoutDegradation pins the zero-fault path: a runtime
+// that never sees a Degraded observation must never clamp.
+func TestNoBackoffWithoutDegradation(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 3})
+	var prev []alloc.Observation
+	for q := 0; q < 20; q++ {
+		plan := r.Decide(prev, 100_000)
+		prev = prev[:0]
+		for _, s := range plan.Steps {
+			if s.Idle || s.MaxCycles <= 0 {
+				continue
+			}
+			qos := 0.2 * float64(s.Config.Slices)
+			prev = append(prev, alloc.Observation{
+				Config: s.Config, Cycles: s.MaxCycles,
+				Instrs: int64(qos * float64(s.MaxCycles)), QoS: qos,
+			})
+		}
+	}
+	if r.Backoffs != 0 || r.backoffLen != 0 || r.retrying {
+		t.Errorf("backoff engaged without degradation: %d windows", r.Backoffs)
+	}
+}

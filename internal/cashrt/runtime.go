@@ -96,7 +96,24 @@ type Runtime struct {
 
 	// probeTick schedules idle-tail probes of cheaper configurations.
 	probeTick int64
+
+	// Degradation backoff state: after the fabric denies an expansion
+	// (or a fault shrinks the virtual core), the runtime caps its plans
+	// at the granted capacity and retries the larger request with capped
+	// exponential backoff instead of re-requesting every quantum.
+	capCfg      vcore.Config
+	backoffLen  int64
+	backoffLeft int64
+	retrying    bool
+	// Backoffs counts backoff windows entered (for reports and tests).
+	Backoffs int64
 }
+
+// maxExpandBackoff caps the exponential retry interval, in quanta: even
+// under a long-lived capacity loss the runtime re-probes the fabric at
+// least every 32 quanta, so a repair is discovered promptly without
+// hammering the allocator every quantum.
+const maxExpandBackoff = 32
 
 // probeEvery is how often an idle tail is converted into a probe of the
 // most promising cheaper configuration. Probing costs a little rent but
@@ -194,6 +211,7 @@ func (r *Runtime) Speedup() float64 { return r.lastSpeedup }
 // Decide implements alloc.Allocator: one iteration of Algorithm 1.
 func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	r.iterations++
+	r.observeDegradation(prev)
 
 	// Read current QoS: aggregate over the whole previous quantum,
 	// including idle time (the customer experiences wall-clock QoS).
@@ -320,7 +338,7 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 				r.lastPlanned = 1
 			}
 			r.lastSpeedup = r.lastPlanned
-			return alloc.Plan{Steps: []alloc.Step{{Config: big, MaxCycles: tau}}}
+			return r.applyBackoff(alloc.Plan{Steps: []alloc.Step{{Config: big, MaxCycles: tau}}})
 		}
 	}
 
@@ -331,7 +349,83 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	} else {
 		r.lastPlanned = 1
 	}
-	return r.planFrom(sched, tau, demand, base)
+	return r.applyBackoff(r.planFrom(sched, tau, demand, base))
+}
+
+// observeDegradation updates the expansion-backoff state from the
+// previous quantum. A Degraded observation means the fabric could not
+// provide the configuration the runtime asked for; its Config field is
+// the capacity that was actually granted. Rather than re-requesting the
+// denied expansion every quantum, the runtime caps its plans at the
+// granted capacity for an exponentially growing number of quanta
+// (1, 2, 4, … up to maxExpandBackoff) between retries.
+func (r *Runtime) observeDegradation(prev []alloc.Observation) {
+	degraded := false
+	for _, ob := range prev {
+		if ob.Degraded {
+			degraded = true
+			r.capCfg = ob.Config
+		}
+	}
+	switch {
+	case degraded && (r.retrying || r.backoffLen == 0):
+		// A fresh denial, or a retry that was denied again: back off
+		// (exponentially, capped).
+		if r.backoffLen == 0 {
+			r.backoffLen = 1
+		} else {
+			r.backoffLen *= 2
+			if r.backoffLen > maxExpandBackoff {
+				r.backoffLen = maxExpandBackoff
+			}
+		}
+		r.backoffLeft = r.backoffLen
+		r.Backoffs++
+	case degraded:
+		// Capacity shrank further while we were already capped (a new
+		// fault): restart the current wait at the new, smaller cap.
+		r.backoffLeft = r.backoffLen
+	case r.retrying:
+		// The retry was granted: capacity is back.
+		r.backoffLen, r.backoffLeft = 0, 0
+		r.capCfg = vcore.Config{}
+	case r.backoffLeft > 0:
+		r.backoffLeft--
+	}
+	r.retrying = false
+}
+
+// applyBackoff clamps a plan to the granted capacity while a backoff
+// window is open. When the window has elapsed, the plan is released
+// unclamped as the retry; observeDegradation learns next quantum
+// whether the fabric granted it.
+func (r *Runtime) applyBackoff(p alloc.Plan) alloc.Plan {
+	if r.backoffLen == 0 {
+		return p
+	}
+	exceeds := false
+	for _, s := range p.Steps {
+		if s.Config.Slices > r.capCfg.Slices || s.Config.L2KB > r.capCfg.L2KB {
+			exceeds = true
+			break
+		}
+	}
+	if !exceeds {
+		return p
+	}
+	if r.backoffLeft <= 0 {
+		r.retrying = true
+		return p
+	}
+	for i := range p.Steps {
+		if p.Steps[i].Config.Slices > r.capCfg.Slices {
+			p.Steps[i].Config.Slices = r.capCfg.Slices
+		}
+		if p.Steps[i].Config.L2KB > r.capCfg.L2KB {
+			p.Steps[i].Config.L2KB = r.capCfg.L2KB
+		}
+	}
+	return p
 }
 
 // updateBase advances the Kalman filter (or the ablated fixed estimate)

@@ -10,6 +10,7 @@ import (
 
 	"cash/internal/alloc"
 	"cash/internal/cost"
+	"cash/internal/fault"
 	"cash/internal/noc"
 	"cash/internal/perf"
 	"cash/internal/slice"
@@ -45,6 +46,18 @@ type Opts struct {
 	// of reading simulator state directly (default true; set
 	// DisablePerfNet to turn off).
 	DisablePerfNet bool
+	// Faults, when non-nil, hosts the run on a fabric chip and replays
+	// the schedule into it: every expansion the allocator requests must
+	// be granted by the chip (denials are reported to the allocator via
+	// Observation.Degraded), and injected tile faults remap or degrade
+	// the tenant mid-run. An empty schedule still hosts the run on the
+	// chip but changes nothing observable. Nil disables fault injection
+	// entirely.
+	Faults *fault.Schedule
+	// FabricWidth and FabricHeight size the chip when Faults is set
+	// (default 16x16, which fully hosts the largest virtual core).
+	FabricWidth  int
+	FabricHeight int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -104,6 +117,8 @@ type Result struct {
 	ViolationRate float64
 	ReconfigCount int64
 	StallCycles   int64
+
+	FaultStats
 }
 
 // MeanCostRate returns the run's average $/hour.
@@ -126,6 +141,10 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 	}
 	gen := workload.NewGen(app, opts.Seed)
 	res := Result{App: app.Name, Allocator: policy.Name(), Target: opts.Target, Tau: opts.Tau}
+	fc, err := newFaultCtx(opts)
+	if err != nil {
+		return Result{}, err
+	}
 
 	var meter *perfMeter
 	if !opts.DisablePerfNet {
@@ -152,11 +171,43 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 		remaining := opts.Tau // a plan never exceeds the control quantum
 		occupancy := map[vcore.Config]int64{}
 
+		// tickFaults applies due fault actions. A forced shrink stalls
+		// the pipeline inside the quantum; the drain is billed at the
+		// surviving (post-shrink) configuration since those are the
+		// resources held during it.
+		tickFaults := func() error {
+			if fc == nil {
+				return nil
+			}
+			degBefore := res.Degradations
+			stall, ferr := fc.advance(sim, sim.Cycle(), &res.FaultStats)
+			if ferr != nil {
+				return ferr
+			}
+			if stall > 0 {
+				qStall += stall
+				remaining -= stall
+				qCost += opts.Model.Charge(sim.Config(), stall)
+			}
+			res.ReconfigCount += int64(res.Degradations - degBefore)
+			return nil
+		}
+		if err := tickFaults(); err != nil {
+			return res, err
+		}
+
 		for _, step := range plan.Steps {
 			if step.MaxCycles <= 0 || remaining <= 0 || gen.Done() {
 				continue
 			}
-			ob := alloc.Observation{Config: step.Config, Idle: step.Idle, Probe: step.Probe}
+			target := step.Config
+			ob := alloc.Observation{Config: target, Idle: step.Idle, Probe: step.Probe}
+			if !step.Idle {
+				granted, denied := fc.grant(sim.Config(), step.Config, &res.FaultStats)
+				if denied {
+					target, ob.Config, ob.Degraded = granted, granted, true
+				}
+			}
 			if step.Idle {
 				idle := step.MaxCycles
 				if idle > remaining {
@@ -172,11 +223,11 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 				if budget > remaining {
 					budget = remaining
 				}
-				ob.L2Changed = step.Config.L2KB != sim.Config().L2KB
-				if step.Config != sim.Config() {
-					stall, err := sim.Reconfigure(step.Config)
+				ob.L2Changed = target.L2KB != sim.Config().L2KB
+				if target != sim.Config() {
+					stall, err := sim.Reconfigure(target)
 					if err != nil {
-						return Result{}, fmt.Errorf("experiment: reconfiguring to %s: %w", step.Config, err)
+						return Result{}, fmt.Errorf("experiment: reconfiguring to %s: %w", target, err)
 					}
 					res.ReconfigCount++
 					qStall += stall
@@ -184,7 +235,7 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 					// billed: the resources are held during the flush.
 					budget -= stall
 					remaining -= stall
-					qCost += opts.Model.Charge(step.Config, stall)
+					qCost += opts.Model.Charge(target, stall)
 					ob.Cycles += stall
 					if budget <= 0 {
 						prev = append(prev, obFinish(ob, gen))
@@ -208,11 +259,14 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 				if cycles > 0 {
 					ob.QoS = float64(instrs) / float64(cycles)
 				}
-				qCost += opts.Model.Charge(step.Config, cycles)
+				qCost += opts.Model.Charge(target, cycles)
 				qInstrs += instrs
-				occupancy[step.Config] += cycles
+				occupancy[target] += cycles
 			}
 			prev = append(prev, obFinish(ob, gen))
+			if err := tickFaults(); err != nil {
+				return res, err
+			}
 		}
 
 		qCycles := sim.Cycle() - qStart
@@ -223,7 +277,9 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 		dominant := sim.Config()
 		var domCycles int64
 		for c, cyc := range occupancy {
-			if cyc > domCycles {
+			// Ties break toward the smaller configuration so the sample
+			// is independent of map iteration order.
+			if cyc > domCycles || (cyc == domCycles && cyc > 0 && configLess(c, dominant)) {
 				dominant, domCycles = c, cyc
 			}
 		}
@@ -254,6 +310,13 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 func obFinish(ob alloc.Observation, gen *workload.Gen) alloc.Observation {
 	ob.Phase = gen.PhaseIndex()
 	return ob
+}
+
+func configLess(a, b vcore.Config) bool {
+	if a.Slices != b.Slices {
+		return a.Slices < b.Slices
+	}
+	return a.L2KB < b.L2KB
 }
 
 // perfMeter measures committed instructions through the CASH runtime

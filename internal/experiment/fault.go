@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cash/internal/fabric"
+	"cash/internal/fault"
+	"cash/internal/noc"
+	"cash/internal/ssim"
+	"cash/internal/vcore"
+)
+
+// Fault injection support shared by the batch engine (Run) and server
+// mode (RunServer). When Opts.Faults is set, the run is hosted on a
+// fabric.Chip: the tenant's virtual core occupies real tiles, every
+// configuration change the allocator requests must be granted by the
+// chip (an expansion is denied when no healthy free tiles exist), and
+// the fault injector is ticked at quantum and step boundaries. A fault
+// that degrades the tenant forces the simulator down to the surviving
+// configuration through ssim's forced-shrink path, so the run continues
+// instead of erroring out.
+
+// FaultEvent is one applied fault action, recorded in the result.
+type FaultEvent struct {
+	// Cycle is when the action was applied (the injector tick's clock).
+	Cycle int64
+	// Pos is the affected tile.
+	Pos noc.Coord
+	// Repair marks a tile returning to service; otherwise a strike.
+	Repair bool
+	// Transient marks actions belonging to a self-repairing fault.
+	Transient bool
+	// Remapped: the tenant's tile moved to a spare; no capacity change.
+	Remapped bool
+	// Degraded: the tenant shrank to Config.
+	Degraded bool
+	Config   vcore.Config
+}
+
+// FaultStats summarises injected-fault activity over a run. It is
+// embedded in Result and ServerResult and stays zero when fault
+// injection is off.
+type FaultStats struct {
+	// FaultEvents is the per-event record, in application order.
+	FaultEvents []FaultEvent
+	// Faults and Repairs count applied strikes and repairs.
+	Faults  int
+	Repairs int
+	// Remaps counts strikes absorbed by moving the tenant to a spare
+	// tile; Degradations counts strikes that shrank the tenant.
+	Remaps       int
+	Degradations int
+	// Denials counts allocator expansion requests the fabric refused.
+	Denials int
+	// ForcedStall is the total stall cycles charged by forced shrinks.
+	ForcedStall int64
+}
+
+// faultCtx hosts a run on a chip and replays a fault schedule into it.
+type faultCtx struct {
+	chip   *fabric.Chip
+	tenant fabric.TenantID
+	inj    *fault.Injector
+}
+
+// defaultFabricDim is the default chip edge when fault injection is on:
+// a 16x16 checkerboard (128 Slices + 128 banks) comfortably hosts the
+// largest virtual core (8 Slices, 8MB = 128 banks), so a fault-free run
+// behaves exactly like a run without a chip.
+const defaultFabricDim = 16
+
+// newFaultCtx builds the chip-and-injector frame, or nil when fault
+// injection is off.
+func newFaultCtx(o Opts) (*faultCtx, error) {
+	if o.Faults == nil {
+		return nil, nil
+	}
+	w, h := o.FabricWidth, o.FabricHeight
+	if w == 0 {
+		w = defaultFabricDim
+	}
+	if h == 0 {
+		h = defaultFabricDim
+	}
+	chip, err := fabric.NewChip(w, h)
+	if err != nil {
+		return nil, err
+	}
+	tenant, err := chip.Allocate(o.Initial)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: placing initial config on the fabric: %w", err)
+	}
+	inj, err := fault.NewInjector(*o.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return &faultCtx{chip: chip, tenant: tenant, inj: inj}, nil
+}
+
+// advance applies every fault action due at `now`. When a strike
+// degrades the tenant, the simulator is forced down to the surviving
+// configuration; the returned stall has already been charged to the
+// simulator clock, and the caller bills it. Returns an error only when
+// the tenant is evicted outright (its last slice failed with no spare),
+// which no allocator can survive.
+func (f *faultCtx) advance(sim *ssim.Sim, now int64, fs *FaultStats) (stall int64, err error) {
+	if f == nil {
+		return 0, nil
+	}
+	for _, tick := range f.inj.Advance(now) {
+		ev := FaultEvent{Cycle: tick.Cycle, Pos: tick.Pos, Transient: tick.Transient}
+		if tick.Op == fault.OpRepair {
+			if err := f.chip.Repair(tick.Pos); err != nil {
+				return stall, err
+			}
+			ev.Repair = true
+			fs.Repairs++
+			fs.FaultEvents = append(fs.FaultEvents, ev)
+			continue
+		}
+		out, err := f.chip.Fail(tick.Pos)
+		if err != nil {
+			return stall, err
+		}
+		fs.Faults++
+		switch {
+		case out.Evicted:
+			return stall, fmt.Errorf("experiment: tenant evicted at cycle %d: tile %v failed with no spare and no smaller valid configuration", now, tick.Pos)
+		case out.Remapped:
+			// Homogeneity at work: an equivalent spare absorbed the
+			// fault; the virtual core's capacity is unchanged.
+			ev.Remapped = true
+			fs.Remaps++
+		case out.Degraded:
+			ev.Degraded, ev.Config = true, out.Config
+			fs.Degradations++
+			s, err := sim.ForceShrink(out.Config)
+			if err != nil {
+				return stall, err
+			}
+			stall += s
+			fs.ForcedStall += s
+		}
+		fs.FaultEvents = append(fs.FaultEvents, ev)
+	}
+	return stall, nil
+}
+
+// grant asks the fabric to resize the tenant from cur to want. On
+// denial (no healthy free tiles for the expansion) the step keeps cur
+// and the observation is marked Degraded so the allocator can back off.
+func (f *faultCtx) grant(cur, want vcore.Config, fs *FaultStats) (vcore.Config, bool) {
+	if f == nil || want == cur {
+		return want, false
+	}
+	if err := f.chip.Resize(f.tenant, want); err != nil {
+		fs.Denials++
+		return cur, true
+	}
+	return want, false
+}

@@ -53,6 +53,8 @@ type ServerResult struct {
 	Violations    int
 	ViolationRate float64
 	Served        int64
+
+	FaultStats
 }
 
 type request struct {
@@ -84,7 +86,16 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	gen := workload.NewPhaseGen(phase, 0, o.Seed)
 
 	res := ServerResult{Allocator: policy.Name()}
+	fc, err := newFaultCtx(o)
+	if err != nil {
+		return ServerResult{}, err
+	}
+	// The pending-request queue is a slice with an explicit head index:
+	// popping by reslicing (queue = queue[1:]) would pin every served
+	// request in the backing array for the whole run, so served entries
+	// are instead compacted away once the dead prefix dominates.
 	var queue []request
+	var qHead int
 	nextArrival := opts.Stream.NextArrival()
 	var latencySum float64
 	var latencyN int64
@@ -94,6 +105,14 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 		for nextArrival <= now {
 			queue = append(queue, request{arrival: nextArrival, remaining: opts.Stream.InstrsPerRequest})
 			nextArrival = opts.Stream.NextArrival()
+		}
+	}
+	pop := func() {
+		qHead++
+		if qHead >= 1024 && qHead*2 >= len(queue) {
+			n := copy(queue, queue[qHead:])
+			queue = queue[:n]
+			qHead = 0
 		}
 	}
 
@@ -111,6 +130,23 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 		arrivalsBefore := opts.Stream.Issued()
 
 		remaining := o.Tau
+		tickFaults := func() error {
+			if fc == nil {
+				return nil
+			}
+			stall, ferr := fc.advance(sim, sim.Cycle(), &res.FaultStats)
+			if ferr != nil {
+				return ferr
+			}
+			if stall > 0 {
+				remaining -= stall
+				qCost += o.Model.Charge(sim.Config(), stall)
+			}
+			return nil
+		}
+		if err := tickFaults(); err != nil {
+			return res, err
+		}
 		for _, step := range plan.Steps {
 			if step.MaxCycles <= 0 || remaining <= 0 {
 				continue
@@ -119,12 +155,19 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 			if budget > remaining {
 				budget = remaining
 			}
-			ob := alloc.Observation{Config: step.Config, Idle: step.Idle, Probe: step.Probe}
+			target := step.Config
+			ob := alloc.Observation{Config: target, Idle: step.Idle, Probe: step.Probe}
+			if !step.Idle {
+				granted, denied := fc.grant(sim.Config(), step.Config, &res.FaultStats)
+				if denied {
+					target, ob.Config, ob.Degraded = granted, granted, true
+				}
+			}
 			if step.Idle {
 				// The server cannot idle with work queued; idle steps
 				// only skip genuinely empty time.
 				admit(sim.Cycle())
-				if len(queue) == 0 {
+				if len(queue) == qHead {
 					idle := budget
 					if nextArrival > sim.Cycle() && nextArrival-sim.Cycle() < idle {
 						idle = nextArrival - sim.Cycle()
@@ -136,15 +179,15 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 				prev = append(prev, ob)
 				continue
 			}
-			ob.L2Changed = step.Config.L2KB != sim.Config().L2KB
-			if step.Config != sim.Config() {
-				stall, err := sim.Reconfigure(step.Config)
+			ob.L2Changed = target.L2KB != sim.Config().L2KB
+			if target != sim.Config() {
+				stall, err := sim.Reconfigure(target)
 				if err != nil {
 					return ServerResult{}, fmt.Errorf("experiment: server reconfiguring: %w", err)
 				}
 				budget -= stall
 				remaining -= stall
-				qCost += o.Model.Charge(step.Config, stall)
+				qCost += o.Model.Charge(target, stall)
 				ob.Cycles += stall
 				if budget <= 0 {
 					prev = append(prev, ob)
@@ -154,7 +197,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 			stepEnd := sim.Cycle() + budget
 			for sim.Cycle() < stepEnd {
 				admit(sim.Cycle())
-				if len(queue) == 0 {
+				if len(queue) == qHead {
 					// Empty queue: wait (free) for the next arrival.
 					idle := stepEnd - sim.Cycle()
 					if nextArrival-sim.Cycle() < idle {
@@ -167,13 +210,13 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 					remaining -= idle
 					continue
 				}
-				req := &queue[0]
+				req := &queue[qHead]
 				n, c := sim.RunBudget(gen, req.remaining, stepEnd-sim.Cycle())
 				req.remaining -= n
 				remaining -= c
 				ob.Cycles += c
 				ob.Instrs += n
-				qCost += o.Model.Charge(step.Config, c)
+				qCost += o.Model.Charge(target, c)
 				if req.remaining <= 0 {
 					lat := float64(sim.Cycle() - req.arrival)
 					qLatSum += lat
@@ -181,7 +224,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 					latencySum += lat
 					latencyN++
 					res.Served++
-					queue = queue[1:]
+					pop()
 				}
 				if c == 0 && n == 0 {
 					break
@@ -197,6 +240,9 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 				}
 			}
 			prev = append(prev, ob)
+			if err := tickFaults(); err != nil {
+				return res, err
+			}
 		}
 
 		qCycles := sim.Cycle() - qStart

@@ -47,6 +47,9 @@ type Tile struct {
 	Kind  TileKind
 	Pos   noc.Coord
 	Owner TenantID
+	// Failed marks a tile out of service (see Fail/Repair). A failed
+	// tile is never owned and never allocated.
+	Failed bool
 }
 
 // Chip is the fabric: a checkerboard of Slices and banks, mirroring
@@ -124,11 +127,30 @@ func (c *Chip) FreeBanks() int { return c.countFree(TileBank) }
 func (c *Chip) countFree(k TileKind) int {
 	n := 0
 	for i := range c.tiles {
-		if c.tiles[i].Kind == k && c.tiles[i].Owner == 0 {
+		if c.tiles[i].Kind == k && c.tiles[i].Owner == 0 && !c.tiles[i].Failed {
 			n++
 		}
 	}
 	return n
+}
+
+// FailedTiles counts tiles currently out of service.
+func (c *Chip) FailedTiles() int {
+	n := 0
+	for i := range c.tiles {
+		if c.tiles[i].Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// TileAt returns the tile at a position (for inspection and tests).
+func (c *Chip) TileAt(p noc.Coord) (Tile, error) {
+	if p.X < 0 || p.X >= c.width || p.Y < 0 || p.Y >= c.height {
+		return Tile{}, fmt.Errorf("fabric: position %v outside %dx%d chip", p, c.width, c.height)
+	}
+	return *c.at(p), nil
 }
 
 // Tenants returns the live tenant ids, sorted.
@@ -189,13 +211,13 @@ func (c *Chip) bestSeed() (noc.Coord, bool) {
 	best, bestScore, found := noc.Coord{}, -1, false
 	for i := range c.tiles {
 		t := &c.tiles[i]
-		if t.Kind != TileSlice || t.Owner != 0 {
+		if t.Kind != TileSlice || t.Owner != 0 || t.Failed {
 			continue
 		}
 		score := 0
 		for j := range c.tiles {
 			o := &c.tiles[j]
-			if o.Owner == 0 && noc.Manhattan(t.Pos, o.Pos) <= 2 {
+			if o.Owner == 0 && !o.Failed && noc.Manhattan(t.Pos, o.Pos) <= 2 {
 				score++
 			}
 		}
@@ -215,7 +237,7 @@ func (c *Chip) takeNearest(k TileKind, seed noc.Coord, n int) []noc.Coord {
 	var cands []cand
 	for i := range c.tiles {
 		t := &c.tiles[i]
-		if t.Kind == k && t.Owner == 0 {
+		if t.Kind == k && t.Owner == 0 && !t.Failed {
 			cands = append(cands, cand{t.Pos, noc.Manhattan(seed, t.Pos)})
 		}
 	}
@@ -258,7 +280,10 @@ func (c *Chip) Release(id TenantID) error {
 
 // Resize grows or shrinks a tenant's holding to a new configuration,
 // reusing its existing tiles (the paper's EXPAND/SHRINK commands target
-// individual tiles, so a resize touches only the delta).
+// individual tiles, so a resize touches only the delta). Resize is
+// transactional: if the bank resize fails after the slice resize
+// succeeded, the slice delta is rolled back, so on error the tenant's
+// allocation is exactly what it was before the call.
 func (c *Chip) Resize(id TenantID, cfg vcore.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -267,10 +292,21 @@ func (c *Chip) Resize(id TenantID, cfg vcore.Config) error {
 	if !ok {
 		return fmt.Errorf("fabric: unknown tenant %d", id)
 	}
+	oldSlices := append([]noc.Coord(nil), a.Slices...)
 	if err := c.resizeKind(a, &a.Slices, TileSlice, cfg.Slices); err != nil {
 		return err
 	}
-	return c.resizeKind(a, &a.Banks, TileBank, cfg.Banks())
+	if err := c.resizeKind(a, &a.Banks, TileBank, cfg.Banks()); err != nil {
+		// Roll back the slice delta: free whatever the slice resize left
+		// us holding, then restore the original tiles.
+		c.release(a.Slices)
+		for _, p := range oldSlices {
+			c.at(p).Owner = id
+		}
+		a.Slices = oldSlices
+		return err
+	}
+	return nil
 }
 
 func (c *Chip) resizeKind(a *Allocation, held *[]noc.Coord, k TileKind, want int) error {
@@ -301,6 +337,118 @@ func (c *Chip) resizeKind(a *Allocation, held *[]noc.Coord, k TileKind, want int
 		*held = append(*held, extra...)
 	}
 	return nil
+}
+
+// --- Faults ---------------------------------------------------------------
+
+// FailOutcome reports how the chip absorbed a tile failure.
+type FailOutcome struct {
+	// Tenant is the affected virtual core (0: the tile was free).
+	Tenant TenantID
+	// Remapped: the tenant's tile moved to a free equivalent at NewPos —
+	// the homogeneity argument of §III-A made executable. Capacity is
+	// unchanged.
+	Remapped bool
+	NewPos   noc.Coord
+	// Degraded: no spare existed; the tenant shrank to Config, the
+	// nearest smaller valid configuration its surviving tiles realise.
+	Degraded bool
+	Config   vcore.Config
+	// Evicted: the tenant's last slice or bank failed with no spare; its
+	// remaining tiles were released.
+	Evicted bool
+}
+
+// Fail takes the tile at p out of service. A free tile is simply
+// removed from the allocatable pool. For an owned tile the chip first
+// tries to remap the tenant onto a free equivalent tile — all Slices
+// (and all banks) are interchangeable, so the move is semantically a
+// SHRINK of the failed tile plus an EXPAND onto the spare. Only when no
+// spare exists is the tenant degraded to the nearest smaller valid
+// configuration, and only when even that is impossible is it evicted.
+// Failing an already-failed tile is a no-op.
+func (c *Chip) Fail(p noc.Coord) (FailOutcome, error) {
+	if p.X < 0 || p.X >= c.width || p.Y < 0 || p.Y >= c.height {
+		return FailOutcome{}, fmt.Errorf("fabric: position %v outside %dx%d chip", p, c.width, c.height)
+	}
+	tile := c.at(p)
+	if tile.Failed {
+		return FailOutcome{}, nil
+	}
+	tile.Failed = true
+	id := tile.Owner
+	if id == 0 {
+		return FailOutcome{}, nil
+	}
+	tile.Owner = 0
+	a := c.tenants[id]
+	held := &a.Slices
+	if tile.Kind == TileBank {
+		held = &a.Banks
+	}
+	removeCoord(held, p)
+	out := FailOutcome{Tenant: id}
+
+	if repl := c.takeNearest(tile.Kind, p, 1); len(repl) == 1 {
+		np := repl[0]
+		c.at(np).Owner = id
+		*held = append(*held, np)
+		out.Remapped, out.NewPos = true, np
+		return out, nil
+	}
+
+	cfg, ok := degradeConfig(len(a.Slices), len(a.Banks))
+	if !ok {
+		c.release(a.Slices)
+		c.release(a.Banks)
+		delete(c.tenants, id)
+		out.Evicted = true
+		return out, nil
+	}
+	// Shrink surplus healthy tiles (e.g. banks rounded down to the next
+	// power of two) so the allocation matches the degraded config. These
+	// are pure shrinks and cannot fail.
+	_ = c.resizeKind(a, &a.Slices, TileSlice, cfg.Slices)
+	_ = c.resizeKind(a, &a.Banks, TileBank, cfg.Banks())
+	out.Degraded, out.Config = true, cfg
+	return out, nil
+}
+
+// Repair returns the tile at p to service. The tile rejoins the free
+// pool; a degraded tenant reclaims capacity through the ordinary
+// Resize path, not automatically. Repairing a healthy tile is a no-op.
+func (c *Chip) Repair(p noc.Coord) error {
+	if p.X < 0 || p.X >= c.width || p.Y < 0 || p.Y >= c.height {
+		return fmt.Errorf("fabric: position %v outside %dx%d chip", p, c.width, c.height)
+	}
+	c.at(p).Failed = false
+	return nil
+}
+
+// degradeConfig returns the largest valid configuration realisable with
+// the given surviving tile counts, or false when none exists.
+func degradeConfig(slices, banks int) (vcore.Config, bool) {
+	if slices < vcore.MinSlices || banks < 1 {
+		return vcore.Config{}, false
+	}
+	if slices > vcore.MaxSlices {
+		slices = vcore.MaxSlices
+	}
+	l2 := vcore.MinL2KB
+	for next := l2 * 2; next <= banks*64 && next <= vcore.MaxL2KB; next *= 2 {
+		l2 = next
+	}
+	cfg := vcore.Config{Slices: slices, L2KB: l2}
+	return cfg, cfg.Valid()
+}
+
+func removeCoord(ps *[]noc.Coord, p noc.Coord) {
+	for i, q := range *ps {
+		if q == p {
+			*ps = append((*ps)[:i], (*ps)[i+1:]...)
+			return
+		}
+	}
 }
 
 func centroid(ps []noc.Coord) noc.Coord {
@@ -438,14 +586,16 @@ func (c *Chip) Compact() int {
 }
 
 // String renders the chip occupancy map, one character per tile:
-// '.' free slice, ',' free bank, and tenant ids modulo ten for owned
-// tiles.
+// '.' free slice, ',' free bank, 'X' failed tile, and tenant ids
+// modulo ten for owned tiles.
 func (c *Chip) String() string {
 	out := make([]byte, 0, (c.width+1)*c.height)
 	for y := 0; y < c.height; y++ {
 		for x := 0; x < c.width; x++ {
 			t := c.at(noc.Coord{X: x, Y: y})
 			switch {
+			case t.Failed:
+				out = append(out, 'X')
 			case t.Owner != 0:
 				out = append(out, byte('0'+int(t.Owner)%10))
 			case t.Kind == TileSlice:

@@ -1,0 +1,47 @@
+package fault
+
+import "math"
+
+// rng is a SplitMix64 pseudo-random generator — the same tiny
+// fixed-algorithm generator package workload uses, duplicated here so
+// fault schedules stay bit-for-bit deterministic across runs and
+// platforms (math/rand's default source changed across Go releases).
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) rng {
+	// Avoid the all-zero fixed point and decorrelate nearby seeds.
+	r := rng{state: seed + 0x9e3779b97f4a7c15}
+	r.next()
+	return r
+}
+
+// next returns the next 64 pseudo-random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
+
+// expInt64 returns an exponentially-distributed delay with the given
+// mean, rounded to at least one cycle.
+func (r *rng) expInt64(mean float64) int64 {
+	d := int64(-math.Log(1-r.float64()) * mean)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

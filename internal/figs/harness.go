@@ -30,6 +30,12 @@ type Harness struct {
 	// CachePath persists the oracle characterisation ("" = default
 	// location; "-" disables persistence).
 	CachePath string
+	// FaultRate is the Reliability study's base strike rate in faults
+	// per million cycles (0 selects its default).
+	FaultRate float64
+	// FaultSeed drives the Reliability study's fault schedule (0 selects
+	// its default).
+	FaultSeed uint64
 }
 
 // New builds a harness writing to out, loading any cached

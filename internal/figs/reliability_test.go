@@ -1,0 +1,56 @@
+package figs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReliability(t *testing.T) {
+	var buf bytes.Buffer
+	h := testHarness(&buf)
+	h.Scale = 0.3
+	rows, err := h.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("want 3 allocators x 3 rates = 9 rows, got %d", len(rows))
+	}
+	totalStrikes := 0
+	for _, r := range rows {
+		if r.Rate == 0 {
+			zero := ReliabilityRow{Allocator: r.Allocator, Rate: 0, Cost: r.Cost, ViolationRate: r.ViolationRate}
+			if !reflect.DeepEqual(r, zero) {
+				t.Errorf("fault-free row must have empty fault stats: %+v", r)
+			}
+		}
+		totalStrikes += r.Stats.Faults
+	}
+	if totalStrikes == 0 {
+		t.Error("no strikes applied at any nonzero rate")
+	}
+	out := buf.String()
+	for _, want := range []string{"Reliability:", "backoffs", "denials"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReliabilityDeterministic(t *testing.T) {
+	run := func() []ReliabilityRow {
+		var buf bytes.Buffer
+		h := testHarness(&buf)
+		h.Scale = 0.3
+		rows, err := h.Reliability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Error("reliability study is not reproducible across runs")
+	}
+}

@@ -245,6 +245,32 @@ func (s *Sim) Reconfigure(to vcore.Config) (int64, error) {
 	return stall, nil
 }
 
+// ForceShrink is the involuntary counterpart of Reconfigure: the fabric
+// lost a tile (a slice or bank failure with no spare to remap onto) and
+// the virtual core must drop to the surviving configuration `to` right
+// now. Unlike a planned reconfiguration — which overlaps the register
+// flush with useful work on the survivors — a forced shrink first
+// drains every in-flight instruction so no architectural state is lost
+// with the failing tile; the drain is bounded by the ROB capacity, so
+// we charge one cycle per ROB entry on top of the ordinary
+// reconfiguration stall. It returns the total stall cycles.
+func (s *Sim) ForceShrink(to vcore.Config) (int64, error) {
+	cur := s.vc.Config()
+	if to == cur {
+		return 0, nil
+	}
+	if to.Slices > cur.Slices || to.L2KB > cur.L2KB {
+		return 0, fmt.Errorf("ssim: forced shrink to %s is not a shrink from %s", to, cur)
+	}
+	drain := int64(s.scfg.ROBSize)
+	stall, err := s.Reconfigure(to)
+	if err != nil {
+		return 0, err
+	}
+	s.AdvanceIdle(drain)
+	return stall + drain, nil
+}
+
 // Run executes up to maxInstrs instructions (or until the source is
 // exhausted) and returns how many committed and the cycles consumed.
 func (s *Sim) Run(src InstrSource, maxInstrs int64) (instrs, cycles int64) {

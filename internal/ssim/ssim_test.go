@@ -290,3 +290,50 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestForceShrinkDrainsAndContinues(t *testing.T) {
+	s := newSim(t, vcore.Config{Slices: 4, L2KB: 512})
+	src := &wideSource{}
+	s.Run(src, 5_000)
+	before := s.Cycle()
+	committed := s.Committed()
+
+	// A forced shrink must charge at least the planned-reconfiguration
+	// stall plus the pipeline drain (one cycle per ROB entry).
+	stall, err := s.ForceShrink(vcore.Config{Slices: 3, L2KB: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall <= int64(slice.DefaultConfig().ROBSize) {
+		t.Errorf("forced shrink stall %d should exceed the %d-cycle drain alone",
+			stall, slice.DefaultConfig().ROBSize)
+	}
+	if s.Cycle() < before+stall {
+		t.Errorf("clock %d did not advance by the stall (%d + %d)", s.Cycle(), before, stall)
+	}
+	if s.Config() != (vcore.Config{Slices: 3, L2KB: 512}) {
+		t.Errorf("config = %s after forced shrink", s.Config())
+	}
+	if s.Committed() != committed {
+		t.Error("forced shrink must not lose committed instructions")
+	}
+
+	// The run must survive: instructions keep committing afterwards.
+	n, cycles := s.Run(src, 5_000)
+	if n != 5_000 || cycles <= 0 {
+		t.Fatalf("post-shrink run committed %d instrs in %d cycles", n, cycles)
+	}
+}
+
+func TestForceShrinkRejectsGrowth(t *testing.T) {
+	s := newSim(t, vcore.Config{Slices: 2, L2KB: 128})
+	if _, err := s.ForceShrink(vcore.Config{Slices: 4, L2KB: 128}); err == nil {
+		t.Error("forced shrink must reject a slice expansion")
+	}
+	if _, err := s.ForceShrink(vcore.Config{Slices: 2, L2KB: 256}); err == nil {
+		t.Error("forced shrink must reject an L2 expansion")
+	}
+	if stall, err := s.ForceShrink(vcore.Config{Slices: 2, L2KB: 128}); err != nil || stall != 0 {
+		t.Errorf("no-op forced shrink: stall=%d err=%v", stall, err)
+	}
+}
