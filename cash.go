@@ -29,6 +29,7 @@ package cash
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"cash/internal/alloc"
 	"cash/internal/cashrt"
@@ -39,6 +40,7 @@ import (
 	"cash/internal/oracle"
 	"cash/internal/slice"
 	"cash/internal/ssim"
+	"cash/internal/supervise"
 	"cash/internal/vcore"
 	"cash/internal/workload"
 )
@@ -183,7 +185,36 @@ type ReproduceOptions struct {
 	// injected-fault schedule (0 = that study's defaults).
 	FaultRate float64
 	FaultSeed uint64
+
+	// Supervision: every (app, policy) cell of every artifact runs under
+	// a supervised executor — a panicking, erroring or hanging cell
+	// renders as FAILED(reason) while the rest of the report completes.
+
+	// Jobs bounds how many cells run in parallel (0 or 1 = sequential).
+	// The report is byte-identical regardless of Jobs.
+	Jobs int
+	// CellTimeout is the per-cell wall-clock budget (0 = none).
+	CellTimeout time.Duration
+	// MaxRetries grants failing cells extra attempts with jittered
+	// exponential backoff.
+	MaxRetries int
+	// JournalPath is the crash-safe result journal ("" = no journal;
+	// DefaultJournalPath returns the conventional location). Completed
+	// cells are appended as checksummed JSONL records.
+	JournalPath string
+	// Resume replays journal-completed cells from an interrupted run
+	// instead of re-running them; the journal is discarded when its
+	// scale/seed fingerprint does not match this run.
+	Resume bool
+	// Log receives diagnostics (characterisation timing, journal reuse,
+	// retry notices) that are kept out of the report for
+	// byte-reproducibility. nil discards them.
+	Log io.Writer
 }
+
+// DefaultJournalPath returns the conventional location of the result
+// journal ($CASH_JOURNAL, else the user cache directory).
+func DefaultJournalPath() string { return supervise.DefaultJournalPath() }
 
 // Reproduce regenerates a named artifact of the paper's evaluation
 // ("fig1", "fig2", "table1", "table2", "overhead", "fig7", "table3",
@@ -202,6 +233,15 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 	}
 	h.FaultRate = o.FaultRate
 	h.FaultSeed = o.FaultSeed
+	h.Jobs = o.Jobs
+	h.CellTimeout = o.CellTimeout
+	h.MaxRetries = o.MaxRetries
+	h.JournalPath = o.JournalPath
+	h.Resume = o.Resume
+	if o.Log != nil {
+		h.Log = o.Log
+	}
+	defer h.Close()
 	defer h.Save()
 	runFig7 := func() error {
 		res, err := h.Fig7()

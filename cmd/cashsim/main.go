@@ -3,10 +3,26 @@
 //
 // Usage:
 //
-//	cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] <artifact>
+//	cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n]
+//	        [-jobs n] [-cell-timeout d] [-max-retries n]
+//	        [-journal file] [-resume] [-v] <artifact>
 //
 // where artifact is one of: fig1 fig2 table1 table2 overhead fig7
 // table3 fig8 fig9 fig10 ablations reliability all.
+//
+// Every (app, policy) cell of every artifact runs under a supervised
+// executor: a panicking, erroring or hanging cell renders as
+// FAILED(reason) in the report while the remaining cells complete.
+// -jobs runs cells in parallel (the report stays byte-identical),
+// -cell-timeout bounds each cell's wall-clock time, and -max-retries
+// grants failing cells extra attempts with jittered backoff.
+//
+// Completed cells are appended to a crash-safe journal (-journal, or
+// $CASH_JOURNAL, or the user cache directory; "-" disables it). After
+// an interrupted run, -resume replays journal-completed cells instead
+// of re-running them, producing a report byte-identical to an
+// uninterrupted run at the same scale and seeds. Without -resume the
+// journal is truncated and started fresh.
 //
 // The reliability artifact injects tile faults into a small fabric chip
 // and reports how CASH and static provisioning degrade; -fault-rate
@@ -24,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -35,8 +52,14 @@ func main() {
 	out := flag.String("out", "", "write the report to a file instead of stdout")
 	faultRate := flag.Float64("fault-rate", 0, "reliability study: strikes per million cycles (0 = default)")
 	faultSeed := flag.Uint64("fault-seed", 0, "reliability study: fault-schedule seed (0 = default)")
+	jobs := flag.Int("jobs", 1, "cells to run in parallel (report stays byte-identical)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock budget (0 = none)")
+	maxRetries := flag.Int("max-retries", 0, "extra attempts for failing cells (jittered backoff)")
+	journal := flag.String("journal", cash.DefaultJournalPath(), `crash-safe result journal ("-" disables)`)
+	resume := flag.Bool("resume", false, "replay journal-completed cells from an interrupted run")
+	verbose := flag.Bool("v", false, "print supervision diagnostics (retries, journal reuse) to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] <artifact>\n\n")
+		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] <artifact>\n\n")
 		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability all\n")
 		flag.PrintDefaults()
 	}
@@ -57,8 +80,16 @@ func main() {
 		w = f
 	}
 
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
 	start := time.Now()
-	opts := cash.ReproduceOptions{Scale: *scale, FaultRate: *faultRate, FaultSeed: *faultSeed}
+	opts := cash.ReproduceOptions{
+		Scale: *scale, FaultRate: *faultRate, FaultSeed: *faultSeed,
+		Jobs: *jobs, CellTimeout: *cellTimeout, MaxRetries: *maxRetries,
+		JournalPath: *journal, Resume: *resume, Log: log,
+	}
 	if err := cash.ReproduceWith(w, flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cashsim:", err)
 		os.Exit(1)

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"cash/internal/alloc"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// TestReqQueueProperty drives the head-index queue with random arrival
+// bursts against a reference FIFO: every pushed request must be served
+// exactly once, in order, and the head/len invariants must hold across
+// compactions.
+func TestReqQueueProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		var q reqQueue
+		var model []int64 // reference FIFO of arrival ids
+		served := make(map[int64]int)
+		nextID := int64(0)
+		compactions := 0
+
+		check := func() {
+			if q.head < 0 || q.head > len(q.buf) {
+				t.Fatalf("invariant broken: head=%d len=%d", q.head, len(q.buf))
+			}
+			if live := len(q.buf) - q.head; live != len(model) {
+				t.Fatalf("live length %d, model %d", live, len(model))
+			}
+			if !q.empty() && q.front().arrival != model[0] {
+				t.Fatalf("front %d, model front %d", q.front().arrival, model[0])
+			}
+		}
+
+		for op := 0; op < 5000; op++ {
+			if burst := rng.Intn(4); rng.Float64() < 0.45 {
+				// A burst of arrivals.
+				for i := 0; i <= burst; i++ {
+					q.push(request{arrival: nextID, remaining: 1})
+					model = append(model, nextID)
+					nextID++
+				}
+			} else if !q.empty() {
+				// Serve the front request.
+				id := q.front().arrival
+				beforeHead := q.head
+				q.pop()
+				if q.head < beforeHead+1 {
+					compactions++
+				}
+				served[id]++
+				if served[id] > 1 {
+					t.Fatalf("request %d served twice", id)
+				}
+				if model[0] != id {
+					t.Fatalf("served %d out of order (expected %d)", id, model[0])
+				}
+				model = model[1:]
+			}
+			check()
+		}
+		// Drain: everything still queued must come out once, in order.
+		for !q.empty() {
+			id := q.front().arrival
+			q.pop()
+			served[id]++
+			if served[id] > 1 {
+				t.Fatalf("request %d served twice during drain", id)
+			}
+			if model[0] != id {
+				t.Fatalf("drained %d out of order", id)
+			}
+			model = model[1:]
+			check()
+		}
+		if int64(len(served)) != nextID {
+			t.Fatalf("served %d distinct requests, pushed %d", len(served), nextID)
+		}
+	}
+}
+
+// TestReqQueueCompacts forces the dead prefix past the threshold and
+// checks that compaction actually reclaims it without losing entries.
+func TestReqQueueCompacts(t *testing.T) {
+	var q reqQueue
+	n := compactThreshold * 3
+	for i := 0; i < n; i++ {
+		q.push(request{arrival: int64(i), remaining: 1})
+	}
+	for i := 0; i < n-1; i++ {
+		if got := q.front().arrival; got != int64(i) {
+			t.Fatalf("front = %d, want %d", got, i)
+		}
+		q.pop()
+	}
+	if q.head >= compactThreshold && q.head*2 >= len(q.buf) {
+		t.Errorf("dead prefix never compacted: head=%d len=%d", q.head, len(q.buf))
+	}
+	if q.empty() || q.front().arrival != int64(n-1) {
+		t.Fatal("compaction lost the live tail")
+	}
+}
+
+// TestRunServerHorizonIdleCap: with an almost-silent request stream the
+// empty-queue idle jump must stop at the horizon instead of chasing a
+// far-future arrival past it.
+func TestRunServerHorizonIdleCap(t *testing.T) {
+	stream := &workload.RequestStream{
+		BaseRate:         0.0001, // one arrival per ~10G cycles
+		Amplitude:        0,
+		PeriodMCycles:    1,
+		InstrsPerRequest: 1000,
+	}
+	opts := ServerOpts{
+		Stream:              stream,
+		TargetLatencyCycles: 110_000,
+		Horizon:             2_000_000,
+	}
+	res, err := RunServer(alloc.Static{Cfg: vcore.Config{Slices: 2, L2KB: 128}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if s.Cycle > opts.Horizon+200_000 {
+			t.Errorf("sample at cycle %d long past horizon %d", s.Cycle, opts.Horizon)
+		}
+	}
+	if res.Served != 0 {
+		t.Errorf("served %d requests from a silent stream", res.Served)
+	}
+}

@@ -62,6 +62,34 @@ type request struct {
 	remaining int64
 }
 
+// reqQueue is a FIFO of pending requests with an explicit head index:
+// popping by reslicing (queue = queue[1:]) would pin every served
+// request in the backing array for the whole run, so served entries are
+// instead compacted away once the dead prefix dominates the slice.
+type reqQueue struct {
+	buf  []request
+	head int
+}
+
+// compactThreshold is the minimum dead prefix before compaction; below
+// it the copy traffic would outweigh the retained memory.
+const compactThreshold = 1024
+
+func (q *reqQueue) push(r request)  { q.buf = append(q.buf, r) }
+func (q *reqQueue) empty() bool     { return q.head == len(q.buf) }
+func (q *reqQueue) front() *request { return &q.buf[q.head] }
+
+// pop discards the front request, compacting when at least
+// compactThreshold entries are dead and they are the majority.
+func (q *reqQueue) pop() {
+	q.head++
+	if q.head >= compactThreshold && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
 // RunServer executes the apache experiment under a policy.
 func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	o := opts.Opts.withDefaults()
@@ -90,12 +118,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	if err != nil {
 		return ServerResult{}, err
 	}
-	// The pending-request queue is a slice with an explicit head index:
-	// popping by reslicing (queue = queue[1:]) would pin every served
-	// request in the backing array for the whole run, so served entries
-	// are instead compacted away once the dead prefix dominates.
-	var queue []request
-	var qHead int
+	var queue reqQueue
 	nextArrival := opts.Stream.NextArrival()
 	var latencySum float64
 	var latencyN int64
@@ -103,16 +126,8 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	// admit moves arrivals at or before the clock into the queue.
 	admit := func(now int64) {
 		for nextArrival <= now {
-			queue = append(queue, request{arrival: nextArrival, remaining: opts.Stream.InstrsPerRequest})
+			queue.push(request{arrival: nextArrival, remaining: opts.Stream.InstrsPerRequest})
 			nextArrival = opts.Stream.NextArrival()
-		}
-	}
-	pop := func() {
-		qHead++
-		if qHead >= 1024 && qHead*2 >= len(queue) {
-			n := copy(queue, queue[qHead:])
-			queue = queue[:n]
-			qHead = 0
 		}
 	}
 
@@ -167,7 +182,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 				// The server cannot idle with work queued; idle steps
 				// only skip genuinely empty time.
 				admit(sim.Cycle())
-				if len(queue) == qHead {
+				if queue.empty() {
 					idle := budget
 					if nextArrival > sim.Cycle() && nextArrival-sim.Cycle() < idle {
 						idle = nextArrival - sim.Cycle()
@@ -197,7 +212,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 			stepEnd := sim.Cycle() + budget
 			for sim.Cycle() < stepEnd {
 				admit(sim.Cycle())
-				if len(queue) == qHead {
+				if queue.empty() {
 					// Empty queue: wait (free) for the next arrival.
 					idle := stepEnd - sim.Cycle()
 					if nextArrival-sim.Cycle() < idle {
@@ -210,7 +225,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 					remaining -= idle
 					continue
 				}
-				req := &queue[qHead]
+				req := queue.front()
 				n, c := sim.RunBudget(gen, req.remaining, stepEnd-sim.Cycle())
 				req.remaining -= n
 				remaining -= c
@@ -224,7 +239,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 					latencySum += lat
 					latencyN++
 					res.Served++
-					pop()
+					queue.pop()
 				}
 				if c == 0 && n == 0 {
 					break
@@ -248,8 +263,14 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 		qCycles := sim.Cycle() - qStart
 		if qCycles <= 0 {
 			// The plan made no progress (e.g. pure idle against an
-			// empty queue with a distant arrival): jump to the arrival.
-			sim.AdvanceIdle(nextArrival - sim.Cycle() + 1)
+			// empty queue with a distant arrival): jump to the arrival,
+			// but never past the horizon — an exhausted or sparse stream
+			// must not overshoot the run end by millions of cycles.
+			jump := opts.Horizon - sim.Cycle()
+			if next := nextArrival - sim.Cycle() + 1; next < jump {
+				jump = next
+			}
+			sim.AdvanceIdle(jump)
 			continue
 		}
 		lat := float64(opts.TargetLatencyCycles) // optimistic when nothing completed

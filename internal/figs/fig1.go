@@ -2,8 +2,11 @@ package figs
 
 import (
 	"fmt"
+	"io"
+	"strings"
 
 	"cash/internal/stats"
+	"cash/internal/supervise"
 	"cash/internal/vcore"
 )
 
@@ -11,13 +14,39 @@ import (
 // virtual-core configuration (1–8 Slices × 64KB–8MB L2), the phase
 // breakdown (Fig 1k), and the local-optima analysis the paper's
 // motivation rests on — that optima move between phases and that many
-// phases have local optima distinct from the global one.
+// phases have local optima distinct from the global one. The whole
+// figure is one supervised cell: its text is journaled, so a resumed
+// suite replays it byte-for-byte.
 func (h *Harness) Fig1() error {
+	reps := h.runCells([]supervise.Unit{{Key: "fig1/x264", Run: func() (any, error) {
+		var b strings.Builder
+		if err := h.fig1Render(&b); err != nil {
+			return nil, err
+		}
+		return b.String(), nil
+	}}})
+	rep := reps[0]
+	if !rep.OK() {
+		h.printf("Figure 1: %s\n", failureLabel(rep))
+		return nil
+	}
+	var text string
+	if err := rep.Decode(&text); err != nil {
+		return err
+	}
+	h.printf("%s", text)
+	h.Save()
+	return nil
+}
+
+// fig1Render writes the figure to w.
+func (h *Harness) fig1Render(w io.Writer) error {
 	app, err := h.app("x264")
 	if err != nil {
 		return err
 	}
 	h.characterize(app)
+	printf := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
 	cols := make([]string, 0)
 	for _, l2 := range vcore.L2Steps() {
@@ -37,12 +66,12 @@ func (h *Harness) Fig1() error {
 	}
 	summaries := make([]phaseSummary, 0, len(app.Phases))
 
-	h.printf("Figure 1: x264 phase contours (IPC over configuration space)\n")
-	h.printf("Shading: brighter = higher IPC, normalized per phase (white = optimum).\n\n")
+	printf("Figure 1: x264 phase contours (IPC over configuration space)\n")
+	printf("Shading: brighter = higher IPC, normalized per phase (white = optimum).\n\n")
 	for pi, p := range app.Phases {
 		grid := h.DB.Grid(app, pi)
-		h.printf("(%c) Phase %d — %s\n", 'a'+pi, pi+1, p.Name)
-		h.printf("%s\n", stats.RenderGrid(grid, rowLabel, cols))
+		printf("(%c) Phase %d — %s\n", 'a'+pi, pi+1, p.Name)
+		printf("%s\n", stats.RenderGrid(grid, rowLabel, cols))
 
 		opt := h.DB.LocalOptima(app, pi, 0.01)
 		best, bestIPC := vcore.Config{}, 0.0
@@ -58,24 +87,24 @@ func (h *Harness) Fig1() error {
 			name: p.Name, best: best, bestIPC: bestIPC, localCount: extra,
 		})
 		if extra > 0 {
-			h.printf("local optima distinct from the global optimum:")
+			printf("local optima distinct from the global optimum:")
 			for _, lo := range opt {
 				if !lo.Global {
-					h.printf(" %s(%.2f)", lo.Cfg, lo.IPC)
+					printf(" %s(%.2f)", lo.Cfg, lo.IPC)
 				}
 			}
-			h.printf("\n")
+			printf("\n")
 		}
-		h.printf("\n")
+		printf("\n")
 	}
 
-	h.printf("(k) Phase breakdown\n")
-	h.printf("%-16s %-12s %-8s %s\n", "phase", "optimal cfg", "IPC", "extra local optima")
+	printf("(k) Phase breakdown\n")
+	printf("%-16s %-12s %-8s %s\n", "phase", "optimal cfg", "IPC", "extra local optima")
 	withLocal := 0
 	prev := vcore.Config{}
 	moves := 0
 	for i, s := range summaries {
-		h.printf("%-16s %-12s %-8.3f %d\n", s.name, s.best.String(), s.bestIPC, s.localCount)
+		printf("%-16s %-12s %-8.3f %d\n", s.name, s.best.String(), s.bestIPC, s.localCount)
 		if s.localCount > 0 {
 			withLocal++
 		}
@@ -84,8 +113,7 @@ func (h *Harness) Fig1() error {
 		}
 		prev = s.best
 	}
-	h.printf("\nphases with local optima distinct from global: %d of %d\n", withLocal, len(summaries))
-	h.printf("consecutive-phase optimum moves: %d of %d transitions\n", moves, len(summaries)-1)
-	h.Save()
+	printf("\nphases with local optima distinct from global: %d of %d\n", withLocal, len(summaries))
+	printf("consecutive-phase optimum moves: %d of %d transitions\n", moves, len(summaries)-1)
 	return nil
 }

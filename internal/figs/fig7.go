@@ -1,9 +1,13 @@
 package figs
 
 import (
+	"fmt"
+	"strings"
+
 	"cash/internal/alloc"
 	"cash/internal/cashrt"
 	"cash/internal/stats"
+	"cash/internal/supervise"
 )
 
 // AppResult is one (application, allocator) outcome for the bar charts.
@@ -13,7 +17,8 @@ type AppResult struct {
 }
 
 // Fig7Result collects Fig 7's full data: per-app cost and violation
-// rate for Optimal, ConvexOptimization, RaceToIdle and CASH.
+// rate for Optimal, ConvexOptimization, RaceToIdle and CASH. Cells that
+// failed under supervision are simply absent from Data.
 type Fig7Result struct {
 	Apps       []string
 	Allocators []string
@@ -22,13 +27,15 @@ type Fig7Result struct {
 }
 
 // Geomeans returns the geometric-mean cost per allocator (Table III's
-// first column).
+// first column), over the apps whose cell completed.
 func (r Fig7Result) Geomeans() map[string]float64 {
 	out := make(map[string]float64, len(r.Allocators))
 	for _, a := range r.Allocators {
 		vals := make([]float64, 0, len(r.Apps))
 		for _, app := range r.Apps {
-			vals = append(vals, r.Data[a][app].Cost)
+			if v, ok := r.Data[a][app]; ok {
+				vals = append(vals, v.Cost)
+			}
 		}
 		out[a] = stats.Geomean(vals)
 	}
@@ -37,6 +44,83 @@ func (r Fig7Result) Geomeans() map[string]float64 {
 
 // fig7Allocators is the comparison set of §VI-C in figure order.
 var fig7Allocators = []string{"Optimal", "ConvexOptimization", "RaceToIdle", "CASH"}
+
+// appPolicyCells builds one supervised cell per (app, allocator) pair;
+// build maps an allocator name to its policy for a given setup
+// ("Optimal" is analytic: a nil allocator reports s.OptCost directly).
+func (h *Harness) appPolicyCells(prefix string, allocators []string,
+	build func(s appSetup, allocator string) (alloc.Allocator, error)) []supervise.Unit {
+	var units []supervise.Unit
+	for _, app := range h.apps() {
+		app := app
+		for _, a := range allocators {
+			a := a
+			units = append(units, supervise.Unit{
+				Key: prefix + "/" + app.Name + "/" + a,
+				Run: func() (any, error) {
+					s, err := h.setup(app)
+					if err != nil {
+						return nil, err
+					}
+					policy, err := build(s, a)
+					if err != nil {
+						return nil, err
+					}
+					if policy == nil { // analytic optimum
+						return AppResult{Cost: s.OptCost}, nil
+					}
+					out, err := h.run(s, policy)
+					if err != nil {
+						return nil, err
+					}
+					return AppResult{Cost: out.TotalCost, ViolationRate: out.ViolationRate}, nil
+				},
+			})
+		}
+	}
+	return units
+}
+
+// collectCells runs the cells and folds successful results into res;
+// failures land in the returned map keyed "app/allocator".
+func (h *Harness) collectCells(res *Fig7Result, units []supervise.Unit,
+	allocators []string) map[string]supervise.Report {
+	reps := h.runCells(units)
+	failed := make(map[string]supervise.Report)
+	apps := h.apps()
+	i := 0
+	for _, app := range apps {
+		res.Apps = append(res.Apps, app.Name)
+		for _, a := range allocators {
+			rep := reps[i]
+			i++
+			if !rep.OK() {
+				failed[app.Name+"/"+a] = rep
+				continue
+			}
+			var v AppResult
+			if err := rep.Decode(&v); err != nil {
+				rep.Failure = &supervise.FailureRecord{
+					Key: rep.Key, Kind: supervise.FailError, Msg: err.Error(), Attempts: rep.Attempts,
+				}
+				failed[app.Name+"/"+a] = rep
+				continue
+			}
+			res.Data[a][app.Name] = v
+		}
+	}
+	return failed
+}
+
+// cellColumn renders one report column: the value when the cell
+// completed, FAILED(reason) when it did not.
+func cellColumn(res Fig7Result, failed map[string]supervise.Report,
+	allocator, app string, format func(AppResult) string) string {
+	if rep, ok := failed[app+"/"+allocator]; ok {
+		return failureLabel(rep)
+	}
+	return format(res.Data[allocator][app])
+}
 
 // Fig7 regenerates Fig 7: total cost and QoS violations for the whole
 // 13-application suite under the four fine-grain resource allocators.
@@ -50,47 +134,38 @@ func (h *Harness) Fig7() (Fig7Result, error) {
 	for _, a := range res.Allocators {
 		res.Data[a] = make(map[string]AppResult)
 	}
+	units := h.appPolicyCells("fig7", fig7Allocators,
+		func(s appSetup, allocator string) (alloc.Allocator, error) {
+			switch allocator {
+			case "Optimal":
+				return nil, nil
+			case "ConvexOptimization":
+				return h.convexAllocator(s)
+			case "RaceToIdle":
+				return s.WorstCase, nil
+			default: // CASH
+				return h.cashAllocator(s.Target), nil
+			}
+		})
+	failed := h.collectCells(&res, units, fig7Allocators)
 
 	h.printf("Figure 7: cost and QoS violations per application (lower is better)\n\n")
 	h.printf("%-12s %-10s | %-22s | %-22s | %-22s\n",
 		"app", "Optimal $", "Convex $ (viol%)", "RaceToIdle $ (viol%)", "CASH $ (viol%)")
-	for _, app := range h.apps() {
-		s, err := h.setup(app)
-		if err != nil {
-			return res, err
-		}
-		res.Apps = append(res.Apps, app.Name)
-		res.Data["Optimal"][app.Name] = AppResult{Cost: s.OptCost}
-
-		cvx, err := h.convexAllocator(s)
-		if err != nil {
-			return res, err
-		}
-		runs := []struct {
-			key    string
-			policy alloc.Allocator
-		}{
-			{"ConvexOptimization", cvx},
-			{"RaceToIdle", s.WorstCase},
-			{"CASH", h.cashAllocator(s.Target)},
-		}
-		for _, r := range runs {
-			out, err := h.run(s, r.policy)
-			if err != nil {
-				return res, err
-			}
-			res.Data[r.key][app.Name] = AppResult{
-				Cost:          out.TotalCost,
-				ViolationRate: out.ViolationRate,
-			}
-		}
-		h.printf("%-12s %-10.3g | %8.3g (%5.1f%%)      | %8.3g (%5.1f%%)      | %8.3g (%5.1f%%)\n",
-			app.Name, s.OptCost,
-			res.Data["ConvexOptimization"][app.Name].Cost, 100*res.Data["ConvexOptimization"][app.Name].ViolationRate,
-			res.Data["RaceToIdle"][app.Name].Cost, 100*res.Data["RaceToIdle"][app.Name].ViolationRate,
-			res.Data["CASH"][app.Name].Cost, 100*res.Data["CASH"][app.Name].ViolationRate)
-		h.Save()
+	optCol := func(v AppResult) string { return fmt.Sprintf("%-10.3g", v.Cost) }
+	polCol := func(v AppResult) string {
+		return fmt.Sprintf("%8.3g (%5.1f%%)     ", v.Cost, 100*v.ViolationRate)
 	}
+	for _, app := range res.Apps {
+		row := fmt.Sprintf("%-12s %s | %s | %s | %s",
+			app,
+			cellColumn(res, failed, "Optimal", app, optCol),
+			cellColumn(res, failed, "ConvexOptimization", app, polCol),
+			cellColumn(res, failed, "RaceToIdle", app, polCol),
+			cellColumn(res, failed, "CASH", app, polCol))
+		h.printf("%s\n", strings.TrimRight(row, " "))
+	}
+	h.Save()
 
 	gm := res.Geomeans()
 	h.printf("\n%-12s %-10.3g | %8.3g               | %8.3g               | %8.3g\n",
@@ -115,6 +190,9 @@ func (h *Harness) Table3(res Fig7Result) {
 	}
 }
 
+// fig10Allocators is Fig 10's comparison set in figure order.
+var fig10Allocators = []string{"CoarseGrain,race", "CoarseGrain,adaptive", "FineGrain,race", "CASH"}
+
 // Fig10 regenerates Fig 10 (§VI-E): the 13 applications on combinations
 // of coarse- and fine-grain architectures with race-to-idle and
 // adaptive management. The coarse-grain machine offers only a big core
@@ -122,56 +200,45 @@ func (h *Harness) Table3(res Fig7Result) {
 func (h *Harness) Fig10() (Fig7Result, error) {
 	big, _ := cashrt.BigLittle()
 	res := Fig7Result{
-		Allocators: []string{"CoarseGrain,race", "CoarseGrain,adaptive", "FineGrain,race", "CASH"},
+		Allocators: fig10Allocators,
 		Data:       make(map[string]map[string]AppResult),
 	}
 	for _, a := range res.Allocators {
 		res.Data[a] = make(map[string]AppResult)
 	}
+	units := h.appPolicyCells("fig10", fig10Allocators,
+		func(s appSetup, allocator string) (alloc.Allocator, error) {
+			switch allocator {
+			// Coarse-grain race-to-idle cannot change core type: it
+			// holds the big core and idles (§VI-E).
+			case "CoarseGrain,race":
+				return alloc.RaceToIdle{WorstCase: big, TargetQoS: s.Target}, nil
+			case "CoarseGrain,adaptive":
+				return cashrt.NewCoarseAdaptive(s.Target, h.Model, h.Seed)
+			case "FineGrain,race":
+				return s.WorstCase, nil
+			default: // CASH
+				return h.cashAllocator(s.Target), nil
+			}
+		})
+	failed := h.collectCells(&res, units, fig10Allocators)
 
 	h.printf("Figure 10: coarse vs fine grain architectures and allocators (lower is better)\n\n")
 	h.printf("%-12s | %-20s | %-20s | %-20s | %-20s\n",
 		"app", "Coarse,race", "Coarse,adapt", "Fine,race", "CASH")
-	for _, app := range h.apps() {
-		s, err := h.setup(app)
-		if err != nil {
-			return res, err
-		}
-		res.Apps = append(res.Apps, app.Name)
-
-		coarseAdaptive, err := cashrt.NewCoarseAdaptive(s.Target, h.Model, h.Seed)
-		if err != nil {
-			return res, err
-		}
-		runs := []struct {
-			key    string
-			policy alloc.Allocator
-		}{
-			// Coarse-grain race-to-idle cannot change core type: it
-			// holds the big core and idles (§VI-E).
-			{"CoarseGrain,race", alloc.RaceToIdle{WorstCase: big, TargetQoS: s.Target}},
-			{"CoarseGrain,adaptive", coarseAdaptive},
-			{"FineGrain,race", s.WorstCase},
-			{"CASH", h.cashAllocator(s.Target)},
-		}
-		for _, r := range runs {
-			out, err := h.run(s, r.policy)
-			if err != nil {
-				return res, err
-			}
-			res.Data[r.key][app.Name] = AppResult{
-				Cost:          out.TotalCost,
-				ViolationRate: out.ViolationRate,
-			}
-		}
-		h.printf("%-12s | %8.3g (%5.1f%%)   | %8.3g (%5.1f%%)   | %8.3g (%5.1f%%)   | %8.3g (%5.1f%%)\n",
-			app.Name,
-			res.Data["CoarseGrain,race"][app.Name].Cost, 100*res.Data["CoarseGrain,race"][app.Name].ViolationRate,
-			res.Data["CoarseGrain,adaptive"][app.Name].Cost, 100*res.Data["CoarseGrain,adaptive"][app.Name].ViolationRate,
-			res.Data["FineGrain,race"][app.Name].Cost, 100*res.Data["FineGrain,race"][app.Name].ViolationRate,
-			res.Data["CASH"][app.Name].Cost, 100*res.Data["CASH"][app.Name].ViolationRate)
-		h.Save()
+	col := func(v AppResult) string {
+		return fmt.Sprintf("%8.3g (%5.1f%%)  ", v.Cost, 100*v.ViolationRate)
 	}
+	for _, app := range res.Apps {
+		row := fmt.Sprintf("%-12s | %s | %s | %s | %s",
+			app,
+			cellColumn(res, failed, "CoarseGrain,race", app, col),
+			cellColumn(res, failed, "CoarseGrain,adaptive", app, col),
+			cellColumn(res, failed, "FineGrain,race", app, col),
+			cellColumn(res, failed, "CASH", app, col))
+		h.printf("%s\n", strings.TrimRight(row, " "))
+	}
+	h.Save()
 
 	gm := res.Geomeans()
 	h.printf("\n%-12s | %8.3g            | %8.3g            | %8.3g            | %8.3g\n",

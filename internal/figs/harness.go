@@ -7,6 +7,7 @@ package figs
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"cash/internal/alloc"
@@ -14,6 +15,7 @@ import (
 	"cash/internal/cost"
 	"cash/internal/experiment"
 	"cash/internal/oracle"
+	"cash/internal/supervise"
 	"cash/internal/workload"
 )
 
@@ -36,6 +38,37 @@ type Harness struct {
 	// FaultSeed drives the Reliability study's fault schedule (0 selects
 	// its default).
 	FaultSeed uint64
+
+	// Supervision knobs: every figure/table enumerates its (app,
+	// policy) cells through a supervised executor, so one panicking or
+	// hanging cell degrades to a FAILED(...) entry instead of losing
+	// the run. cmd/cashsim maps -jobs/-cell-timeout/-max-retries/
+	// -resume onto these.
+
+	// Jobs bounds how many cells run in parallel (<=1 = sequential).
+	// Output ordering is deterministic regardless.
+	Jobs int
+	// CellTimeout is the per-cell wall-clock budget (0 = none).
+	CellTimeout time.Duration
+	// MaxRetries is how many extra attempts a failing cell gets.
+	MaxRetries int
+	// JournalPath is the crash-safe result journal ("" disables
+	// journaling; see supervise.DefaultJournalPath).
+	JournalPath string
+	// Resume replays journal-completed cells from an interrupted run
+	// instead of re-running them.
+	Resume bool
+	// Log receives progress and diagnostics (characterisation timing,
+	// journal reuse, retry notices). They are kept out of Out so the
+	// report itself stays byte-reproducible; default is to discard.
+	Log io.Writer
+	// CellHook, when set, runs at the start of every supervised cell —
+	// test instrumentation for injecting panics and hangs.
+	CellHook func(key string)
+
+	logMu       sync.Mutex
+	journal     *supervise.Journal
+	journalOnce sync.Once
 }
 
 // New builds a harness writing to out, loading any cached
@@ -48,10 +81,14 @@ func New(out io.Writer) *Harness {
 		Scale:     1.0,
 		Seed:      7,
 		CachePath: oracle.DefaultCachePath(),
+		Log:       io.Discard,
 	}
 	if h.CachePath != "-" {
-		// Cache load failures only cost re-simulation.
-		_ = h.DB.LoadCache(h.CachePath)
+		// Cache load failures only cost re-simulation, but silent ones
+		// hide corruption — surface them.
+		if err := h.DB.LoadCache(h.CachePath); err != nil {
+			fmt.Fprintf(out, "# warning: oracle cache load: %v\n", err)
+		}
 	}
 	return h
 }
@@ -59,12 +96,37 @@ func New(out io.Writer) *Harness {
 // Save persists the characterisation cache.
 func (h *Harness) Save() {
 	if h.CachePath != "-" {
-		_ = h.DB.SaveCache(h.CachePath)
+		if err := h.DB.SaveCache(h.CachePath); err != nil {
+			// One visible line in the report beats a silently cold cache.
+			h.logMu.Lock()
+			fmt.Fprintf(h.Out, "# warning: oracle cache save: %v\n", err)
+			h.logMu.Unlock()
+		}
 	}
+}
+
+// Close releases the result journal, if one was opened.
+func (h *Harness) Close() error {
+	if h.journal != nil {
+		err := h.journal.Close()
+		h.journal = nil
+		return err
+	}
+	return nil
 }
 
 func (h *Harness) printf(format string, args ...any) {
 	fmt.Fprintf(h.Out, format, args...)
+}
+
+// logf writes a diagnostic line to h.Log (safe from parallel cells).
+func (h *Harness) logf(format string, args ...any) {
+	if h.Log == nil {
+		return
+	}
+	h.logMu.Lock()
+	fmt.Fprintf(h.Log, format, args...)
+	h.logMu.Unlock()
 }
 
 // app returns a workload scaled for this harness.
@@ -90,12 +152,14 @@ func (h *Harness) apps() []workload.App {
 	return out
 }
 
-// characterize sweeps an app and persists the cache.
+// characterize sweeps an app and persists the cache. Progress goes to
+// the diagnostic log: wall times are environment noise that would break
+// the report's byte-reproducibility.
 func (h *Harness) characterize(app workload.App) {
 	start := time.Now()
 	h.DB.CharacterizeApp(app)
 	if d := time.Since(start); d > time.Second {
-		h.printf("# characterized %s (%v)\n", app.Name, d.Round(time.Millisecond))
+		h.logf("# characterized %s (%v)\n", app.Name, d.Round(time.Millisecond))
 		h.Save()
 	}
 }

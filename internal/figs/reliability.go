@@ -1,10 +1,13 @@
 package figs
 
 import (
+	"fmt"
+
 	"cash/internal/alloc"
 	"cash/internal/cashrt"
 	"cash/internal/experiment"
 	"cash/internal/fault"
+	"cash/internal/supervise"
 	"cash/internal/vcore"
 	"cash/internal/workload"
 )
@@ -41,7 +44,11 @@ type ReliabilityRow struct {
 
 // Reliability runs the fault-injection comparison and prints the table.
 // Rates are h.FaultRate and twice it, plus the fault-free control; the
-// schedule derives from h.FaultSeed, so the study is reproducible.
+// schedule derives from h.FaultSeed, so the study is reproducible. Each
+// (allocator, rate) pair is one supervised cell: a failed cell prints a
+// FAILED row (its "vs ok" baseline degrades to 1.00x for siblings when
+// the fault-free control itself failed) and is absent from the returned
+// rows.
 func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 	baseRate := h.FaultRate
 	if baseRate <= 0 {
@@ -51,11 +58,6 @@ func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 	if seed == 0 {
 		seed = 17
 	}
-	app, ok := workload.ByName("hmmer")
-	if !ok {
-		panic("figs: hmmer missing from the suite")
-	}
-	app = app.Scale(0.5 * h.Scale)
 	const target = 0.3
 
 	policies := []struct {
@@ -76,43 +78,74 @@ func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 	}
 	rates := []float64{0, baseRate, 2 * baseRate}
 
+	var units []supervise.Unit
+	for _, p := range policies {
+		p := p
+		for _, rate := range rates {
+			rate := rate
+			units = append(units, supervise.Unit{
+				Key: fmt.Sprintf("reliability/%s/%g", p.name, rate),
+				Run: func() (any, error) {
+					app, ok := workload.ByName("hmmer")
+					if !ok {
+						return nil, fmt.Errorf("figs: hmmer missing from the suite")
+					}
+					app = app.Scale(0.5 * h.Scale)
+					opts := experiment.Opts{
+						Target: target, Model: h.Model, Tolerance: 0.10,
+						MaxQuanta:   reliabilityQuanta,
+						FabricWidth: reliabilityDim, FabricHeight: reliabilityDim,
+						Initial: vcore.Config{Slices: 2, L2KB: 128},
+					}
+					if rate > 0 {
+						sched := fault.MustGenerate(fault.Spec{
+							Rate:    rate,
+							Horizon: int64(reliabilityQuanta) * 100_000 * 2,
+							Width:   reliabilityDim, Height: reliabilityDim,
+							Seed: seed,
+						})
+						opts.Faults = &sched
+					} else {
+						opts.Faults = &fault.Schedule{}
+					}
+					policy := p.build()
+					res, err := experiment.Run(app, policy, opts)
+					if err != nil {
+						return nil, err
+					}
+					row := ReliabilityRow{
+						Allocator: p.name, Rate: rate,
+						Cost: res.TotalCost, ViolationRate: res.ViolationRate,
+						Stats: res.FaultStats,
+					}
+					if rt, isCASH := policy.(*cashrt.Runtime); isCASH {
+						row.Backoffs = rt.Backoffs
+					}
+					return row, nil
+				},
+			})
+		}
+	}
+	reps := h.runCells(units)
+
 	h.printf("Reliability: cost and QoS under injected tile faults (4x4 chip, accelerated rates)\n\n")
 	h.printf("%-18s %-12s %10s %7s %7s %7s %7s %7s %8s %9s\n",
 		"allocator", "faults/Mcyc", "$", "vs ok", "viol%", "strikes", "remaps", "degr", "denials", "backoffs")
 
 	var rows []ReliabilityRow
+	i := 0
 	for _, p := range policies {
 		var faultFreeCost float64
 		for _, rate := range rates {
-			opts := experiment.Opts{
-				Target: target, Model: h.Model, Tolerance: 0.10,
-				MaxQuanta:   reliabilityQuanta,
-				FabricWidth: reliabilityDim, FabricHeight: reliabilityDim,
-				Initial: vcore.Config{Slices: 2, L2KB: 128},
+			rep := reps[i]
+			i++
+			if !rep.OK() {
+				h.printf("%-18s %-12.2f %s\n", p.name, rate, failureLabel(rep))
+				continue
 			}
-			if rate > 0 {
-				sched := fault.MustGenerate(fault.Spec{
-					Rate:    rate,
-					Horizon: int64(reliabilityQuanta) * 100_000 * 2,
-					Width:   reliabilityDim, Height: reliabilityDim,
-					Seed: seed,
-				})
-				opts.Faults = &sched
-			} else {
-				opts.Faults = &fault.Schedule{}
-			}
-			policy := p.build()
-			res, err := experiment.Run(app, policy, opts)
-			if err != nil {
+			var row ReliabilityRow
+			if err := rep.Decode(&row); err != nil {
 				return rows, err
-			}
-			row := ReliabilityRow{
-				Allocator: p.name, Rate: rate,
-				Cost: res.TotalCost, ViolationRate: res.ViolationRate,
-				Stats: res.FaultStats,
-			}
-			if rt, isCASH := policy.(*cashrt.Runtime); isCASH {
-				row.Backoffs = rt.Backoffs
 			}
 			rows = append(rows, row)
 			if rate == 0 {

@@ -1,11 +1,14 @@
 package figs
 
 import (
+	"fmt"
+
 	"cash/internal/alloc"
 	"cash/internal/cashrt"
 	"cash/internal/experiment"
 	"cash/internal/qlearn"
 	"cash/internal/stats"
+	"cash/internal/supervise"
 	"cash/internal/vcore"
 )
 
@@ -37,83 +40,170 @@ func (h *Harness) calibrateServerProvision(mkOpts func() experiment.ServerOpts) 
 	return vcore.Max(), nil
 }
 
+// seriesRow is one policy's supervised-cell payload for Fig 2/8.
+type seriesRow struct {
+	Name          string
+	Target        float64
+	OptCost       float64
+	TotalCost     float64
+	ViolationRate float64
+	TotalCycles   int64
+	// Cost and Perf are the resampled display series.
+	Cost []float64
+	Perf []float64
+}
+
 // timeSeries renders the cost-rate and normalized-performance series of
 // several allocators on one application — the machinery behind Fig 2
 // (Optimal vs Race-to-Idle vs ConvexOptimization) and Fig 8 (the same
-// with CASH).
-func (h *Harness) timeSeries(s appSetup, policies []alloc.Allocator, width int) error {
-	names := make([]string, 0, len(policies))
-	costSeries := make([][]float64, 0, len(policies))
-	perfSeries := make([][]float64, 0, len(policies))
-	for _, p := range policies {
-		res, err := h.run(s, p)
-		if err != nil {
+// with CASH). Each (app, policy) pair is one supervised cell; a failed
+// policy degrades to a FAILED line while the others still render.
+func (h *Harness) timeSeries(prefix, appName, title string, policyKeys []string,
+	mk func(s appSetup, key string) (alloc.Allocator, error), width int) error {
+	var units []supervise.Unit
+	for _, key := range policyKeys {
+		key := key
+		units = append(units, supervise.Unit{
+			Key: prefix + "/" + appName + "/" + key,
+			Run: func() (any, error) {
+				app, err := h.app(appName)
+				if err != nil {
+					return nil, err
+				}
+				s, err := h.setup(app)
+				if err != nil {
+					return nil, err
+				}
+				policy, err := mk(s, key)
+				if err != nil {
+					return nil, err
+				}
+				res, err := h.run(s, policy)
+				if err != nil {
+					return nil, err
+				}
+				cr := make([]float64, len(res.Samples))
+				pf := make([]float64, len(res.Samples))
+				for i, sm := range res.Samples {
+					cr[i] = sm.CostRate
+					pf[i] = sm.QoS / s.Target
+				}
+				return seriesRow{
+					Name:          policy.Name(),
+					Target:        s.Target,
+					OptCost:       s.OptCost,
+					TotalCost:     res.TotalCost,
+					ViolationRate: res.ViolationRate,
+					TotalCycles:   res.TotalCycles,
+					Cost:          stats.Resample(cr, width),
+					Perf:          stats.Resample(pf, width),
+				}, nil
+			},
+		})
+	}
+	reps := h.runCells(units)
+
+	rows := make([]*seriesRow, len(reps))
+	var first *seriesRow
+	for i, rep := range reps {
+		if !rep.OK() {
+			continue
+		}
+		var row seriesRow
+		if err := rep.Decode(&row); err != nil {
 			return err
 		}
-		names = append(names, p.Name())
-		cr := make([]float64, len(res.Samples))
-		pf := make([]float64, len(res.Samples))
-		for i, sm := range res.Samples {
-			cr[i] = sm.CostRate
-			pf[i] = sm.QoS / s.Target
+		rows[i] = &row
+		if first == nil {
+			first = &row
 		}
-		costSeries = append(costSeries, stats.Resample(cr, width))
-		perfSeries = append(perfSeries, stats.Resample(pf, width))
+	}
+	if first == nil {
+		h.printf("%s\n", title)
+		for i, key := range policyKeys {
+			h.printf("# %-20s %s\n", key, failureLabel(reps[i]))
+		}
+		h.Save()
+		return nil
+	}
+	h.printf("%s (QoS target %.3f IPC)\n\n", title, first.Target)
+	var names []string
+	var costSeries, perfSeries [][]float64
+	for i, row := range rows {
+		if row == nil {
+			h.printf("# %-20s %s\n", policyKeys[i], failureLabel(reps[i]))
+			continue
+		}
+		names = append(names, row.Name)
+		costSeries = append(costSeries, row.Cost)
+		perfSeries = append(perfSeries, row.Perf)
 		h.printf("# %-20s total=$%.3g (%.2fx optimal)  violations=%.1f%%  cycles=%.0fM\n",
-			p.Name(), res.TotalCost, res.TotalCost/s.OptCost,
-			100*res.ViolationRate, float64(res.TotalCycles)/1e6)
+			row.Name, row.TotalCost, row.TotalCost/row.OptCost,
+			100*row.ViolationRate, float64(row.TotalCycles)/1e6)
 	}
 	h.printf("\nCost Rate ($/hour) vs time:\n%s\n",
 		stats.RenderSeries(names, costSeries, 12))
 	h.printf("Normalized Performance (1.0 = QoS target) vs time:\n%s\n",
 		stats.RenderSeries(names, perfSeries, 12))
+	h.Save()
 	return nil
 }
 
 // Fig2 regenerates the motivational comparison of §II-B: optimal,
 // race-to-idle and convex-optimization resource allocation on x264.
 func (h *Harness) Fig2() error {
-	app, err := h.app("x264")
-	if err != nil {
-		return err
-	}
-	s, err := h.setup(app)
-	if err != nil {
-		return err
-	}
-	cvx, err := h.convexAllocator(s)
-	if err != nil {
-		return err
-	}
-	h.printf("Figure 2: fine-grain resource allocators on x264 (QoS target %.3f IPC)\n\n", s.Target)
-	err = h.timeSeries(s, []alloc.Allocator{s.Oracle, s.WorstCase, cvx}, 96)
-	h.Save()
-	return err
+	return h.timeSeries("fig2", "x264",
+		"Figure 2: fine-grain resource allocators on x264",
+		[]string{"Optimal", "RaceToIdle", "ConvexOptimization"},
+		func(s appSetup, key string) (alloc.Allocator, error) {
+			switch key {
+			case "Optimal":
+				return s.Oracle, nil
+			case "RaceToIdle":
+				return s.WorstCase, nil
+			default:
+				return h.convexAllocator(s)
+			}
+		}, 96)
 }
 
 // Fig8 regenerates the x264 time series of §VI-D: convex optimization,
 // race-to-idle and CASH.
 func (h *Harness) Fig8() error {
-	app, err := h.app("x264")
-	if err != nil {
-		return err
-	}
-	s, err := h.setup(app)
-	if err != nil {
-		return err
-	}
-	cvx, err := h.convexAllocator(s)
-	if err != nil {
-		return err
-	}
-	h.printf("Figure 8: time series for x264 (QoS target %.3f IPC)\n\n", s.Target)
-	err = h.timeSeries(s, []alloc.Allocator{cvx, s.WorstCase, h.cashAllocator(s.Target)}, 96)
-	h.Save()
-	return err
+	return h.timeSeries("fig8", "x264",
+		"Figure 8: time series for x264",
+		[]string{"ConvexOptimization", "RaceToIdle", "CASH"},
+		func(s appSetup, key string) (alloc.Allocator, error) {
+			switch key {
+			case "ConvexOptimization":
+				return h.convexAllocator(s)
+			case "RaceToIdle":
+				return s.WorstCase, nil
+			default:
+				return h.cashAllocator(s.Target), nil
+			}
+		}, 96)
+}
+
+// serverRow is one policy's supervised-cell payload for Fig 9.
+type serverRow struct {
+	Name          string
+	TotalCost     float64
+	MeanLatency   float64
+	ViolationRate float64
+	Served        int64
+	// Rate, Cost and Lat are the resampled display series.
+	Rate []float64
+	Cost []float64
+	Lat  []float64
 }
 
 // Fig9 regenerates the apache experiment of §VI-D: an oscillating
 // open-loop request stream with a per-request latency QoS (110K cycles).
+// The race-to-idle provision calibration and each policy run are
+// separate supervised cells; if calibration fails, the race-to-idle
+// cell fails with a dependency error and the adaptive policies still
+// render.
 func (h *Harness) Fig9() error {
 	h.printf("Figure 9: apache under an oscillating request load (QoS: 110K cycles/request)\n\n")
 
@@ -131,48 +221,99 @@ func (h *Harness) Fig9() error {
 	// 1.0. The race-to-idle server provisions the cheapest configuration
 	// that holds the latency target at peak load, found by calibration
 	// (the a-priori knowledge the paper grants race-to-idle).
-	provision, err := h.calibrateServerProvision(serverOpts)
-	if err != nil {
-		return err
+	calReps := h.runCells([]supervise.Unit{{Key: "fig9/calibrate", Run: func() (any, error) {
+		return h.calibrateServerProvision(serverOpts)
+	}}})
+	var provision vcore.Config
+	calOK := calReps[0].OK()
+	if calOK {
+		if err := calReps[0].Decode(&provision); err != nil {
+			return err
+		}
+		h.printf("# race-to-idle provision: %s\n", provision)
+	} else {
+		h.printf("# race-to-idle provision: %s\n", failureLabel(calReps[0]))
 	}
-	h.printf("# race-to-idle provision: %s\n", provision)
-	cvx, err := cashrt.NewConvex(1.0, h.Model, qlearn.Prior)
-	if err != nil {
-		return err
-	}
+
 	// Server QoS is a latency ratio, not a throughput: the batch
 	// runtime's race-to-obligation plans are meaningless here, so the
 	// CASH server variant uses whole-quantum configurations with the
 	// demand-escalation guard and extra control headroom.
-	policies := []alloc.Allocator{
-		alloc.RaceToIdle{WorstCase: provision, TargetQoS: 1.0},
-		cvx,
-		cashrt.MustNew(1.0, h.Model, cashrt.Options{
-			Seed: h.Seed, SingleConfig: true, GuardStyle: cashrt.GuardCommitted, Margin: 0.15,
-		}),
+	policyKeys := []string{"RaceToIdle", "ConvexOptimization", "CASH"}
+	mk := func(key string) (alloc.Allocator, error) {
+		switch key {
+		case "RaceToIdle":
+			if !calOK {
+				return nil, fmt.Errorf("dependency: provision calibration failed: %s",
+					calReps[0].Failure.Reason())
+			}
+			return alloc.RaceToIdle{WorstCase: provision, TargetQoS: 1.0}, nil
+		case "ConvexOptimization":
+			return cashrt.NewConvex(1.0, h.Model, qlearn.Prior)
+		default:
+			return cashrt.MustNew(1.0, h.Model, cashrt.Options{
+				Seed: h.Seed, SingleConfig: true, GuardStyle: cashrt.GuardCommitted, Margin: 0.15,
+			}), nil
+		}
 	}
+	var units []supervise.Unit
+	for _, key := range policyKeys {
+		key := key
+		units = append(units, supervise.Unit{
+			Key: "fig9/apache/" + key,
+			Run: func() (any, error) {
+				policy, err := mk(key)
+				if err != nil {
+					return nil, err
+				}
+				res, err := experiment.RunServer(policy, serverOpts())
+				if err != nil {
+					return nil, err
+				}
+				rr := make([]float64, len(res.Samples))
+				cr := make([]float64, len(res.Samples))
+				nl := make([]float64, len(res.Samples))
+				for i, sm := range res.Samples {
+					rr[i] = sm.RequestRate
+					cr[i] = sm.CostRate
+					nl[i] = sm.NormLatency
+				}
+				return serverRow{
+					Name:          policy.Name(),
+					TotalCost:     res.TotalCost,
+					MeanLatency:   res.MeanLatency,
+					ViolationRate: res.ViolationRate,
+					Served:        res.Served,
+					Rate:          stats.Resample(rr, 96),
+					Cost:          stats.Resample(cr, 96),
+					Lat:           stats.Resample(nl, 96),
+				}, nil
+			},
+		})
+	}
+	reps := h.runCells(units)
 
-	names := make([]string, 0, len(policies))
+	var names []string
 	var rateS, costS, latS [][]float64
-	for _, p := range policies {
-		res, err := experiment.RunServer(p, serverOpts())
-		if err != nil {
+	for i, rep := range reps {
+		if !rep.OK() {
+			h.printf("# %-20s %s\n", policyKeys[i], failureLabel(rep))
+			continue
+		}
+		var row serverRow
+		if err := rep.Decode(&row); err != nil {
 			return err
 		}
-		names = append(names, p.Name())
-		rr := make([]float64, len(res.Samples))
-		cr := make([]float64, len(res.Samples))
-		nl := make([]float64, len(res.Samples))
-		for i, sm := range res.Samples {
-			rr[i] = sm.RequestRate
-			cr[i] = sm.CostRate
-			nl[i] = sm.NormLatency
-		}
-		rateS = append(rateS, stats.Resample(rr, 96))
-		costS = append(costS, stats.Resample(cr, 96))
-		latS = append(latS, stats.Resample(nl, 96))
+		names = append(names, row.Name)
+		rateS = append(rateS, row.Rate)
+		costS = append(costS, row.Cost)
+		latS = append(latS, row.Lat)
 		h.printf("# %-20s total=$%.3g  mean latency=%.0f cycles  violations=%.1f%%  served=%d\n",
-			p.Name(), res.TotalCost, res.MeanLatency, 100*res.ViolationRate, res.Served)
+			row.Name, row.TotalCost, row.MeanLatency, 100*row.ViolationRate, row.Served)
+	}
+	if len(names) == 0 {
+		h.Save()
+		return nil
 	}
 	h.printf("\nRequest Rate (reqs per Mcycle) vs time:\n%s\n",
 		stats.RenderSeries(names[:1], rateS[:1], 8))

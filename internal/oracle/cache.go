@@ -1,8 +1,10 @@
 package oracle
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 )
@@ -27,19 +29,38 @@ func DefaultCachePath() string {
 	return filepath.Join(os.TempDir(), "cash-oracle.gob")
 }
 
+// cacheMagic heads the current cache format: the magic, an 8-digit hex
+// CRC32 of the gob payload, and a newline, followed by the payload.
+// Files without the magic are legacy bare-gob caches and still load.
+const cacheMagic = "CASHORACLE1 "
+
 // LoadCache merges entries from the file into the database. A missing
-// file is not an error.
+// file is not an error. A cache whose checksum header does not match
+// its payload is discarded (the caller should warn and re-characterise)
+// rather than decoded as garbage.
 func (db *DB) LoadCache(path string) error {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
 		return fmt.Errorf("oracle: opening cache: %w", err)
 	}
-	defer f.Close()
+	payload := raw
+	if bytes.HasPrefix(raw, []byte(cacheMagic)) {
+		rest := raw[len(cacheMagic):]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl != 8 {
+			return fmt.Errorf("oracle: cache %s has a malformed checksum header; discarding it", path)
+		}
+		payload = rest[nl+1:]
+		want := string(rest[:8])
+		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)); got != want {
+			return fmt.Errorf("oracle: cache %s checksum mismatch (%s != %s); discarding it", path, got, want)
+		}
+	}
 	var m map[string]Char
-	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
 		return fmt.Errorf("oracle: decoding cache %s: %w", path, err)
 	}
 	db.mu.Lock()
@@ -61,18 +82,28 @@ func (db *DB) SaveCache(path string) error {
 	}
 	db.mu.Unlock()
 
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return fmt.Errorf("oracle: encoding cache: %w", err)
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("oracle: creating cache dir: %w", err)
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	// A unique temp name keeps concurrent savers (parallel harness
+	// cells) from clobbering each other's half-written files.
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("oracle: creating cache: %w", err)
 	}
-	if err := gob.NewEncoder(f).Encode(m); err != nil {
+	tmp := f.Name()
+	header := fmt.Sprintf("%s%08x\n", cacheMagic, crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err = f.WriteString(header); err == nil {
+		_, err = f.Write(payload.Bytes())
+	}
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("oracle: encoding cache: %w", err)
+		return fmt.Errorf("oracle: writing cache: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)

@@ -228,3 +228,79 @@ func TestCheapestFeasible(t *testing.T) {
 		t.Error("absurd target must fail")
 	}
 }
+
+func TestLoadCacheChecksumMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "oracle.gob")
+	db := NewDB()
+	db.Characterize(tinyApp(), vcore.Min())
+	if err := db.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte without touching the header.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	if err := db2.LoadCache(path); err == nil {
+		t.Fatal("checksum mismatch must surface as an error")
+	}
+	if db2.Entries() != 0 {
+		t.Error("corrupt cache must be discarded, not partially loaded")
+	}
+}
+
+func TestLoadCacheLegacyFormat(t *testing.T) {
+	// A pre-header cache is bare gob from byte zero; it must still load.
+	path := filepath.Join(t.TempDir(), "legacy.gob")
+	db := NewDB()
+	app := tinyApp()
+	want := db.Characterize(app, vcore.Min())
+	if err := db.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := 0
+	for i, c := range b {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if err := os.WriteFile(path, b[nl+1:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	if err := db2.LoadCache(path); err != nil {
+		t.Fatalf("legacy cache must load: %v", err)
+	}
+	got := db2.Characterize(app, vcore.Min())
+	for i := range want.Avg {
+		if got.Avg[i] != want.Avg[i] {
+			t.Fatal("legacy load altered data")
+		}
+	}
+}
+
+func TestSaveCacheHasChecksumHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "oracle.gob")
+	db := NewDB()
+	db.Characterize(tinyApp(), vcore.Min())
+	if err := db.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < len(cacheMagic)+9 || string(b[:len(cacheMagic)]) != cacheMagic {
+		t.Fatalf("saved cache missing %q header", cacheMagic)
+	}
+}

@@ -1,0 +1,99 @@
+package supervise
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the supervisor's view of wall time so tests can drive
+// timeouts and backoff deterministically.
+type Clock interface {
+	// After returns a channel that fires once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually-advanced clock for tests. Timers fire only
+// when Advance moves the clock past their deadline.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+	// Slept records every Sleep/After duration requested, in order.
+	slept []time.Duration
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a fake clock starting at an arbitrary epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slept = append(c.slept, d)
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, &fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+func (c *FakeClock) Sleep(d time.Duration) { <-c.After(d) }
+
+// Advance moves the clock forward, firing every timer whose deadline
+// has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// BlockUntil polls until at least n timers are pending, so a test can
+// synchronise with a goroutine that is about to sleep.
+func (c *FakeClock) BlockUntil(n int) {
+	for {
+		c.mu.Lock()
+		pending := len(c.waiters)
+		c.mu.Unlock()
+		if pending >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Requested returns every duration passed to Sleep/After so far.
+func (c *FakeClock) Requested() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.slept))
+	copy(out, c.slept)
+	return out
+}

@@ -1,0 +1,264 @@
+package supervise
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The result journal is an append-only JSONL file. Every line is one
+// Entry, self-checksummed with CRC32 so a torn write from a killed
+// process is detected and skipped on reload instead of corrupting the
+// resume state. The first line is a meta record fingerprinting the run
+// parameters (scale, seed, ...); a journal whose fingerprint does not
+// match the current run is discarded rather than resumed, because its
+// cached cell values would silently describe a different experiment.
+
+// EntryStatus classifies a journal record.
+const (
+	// StatusMeta is the run-fingerprint header record.
+	StatusMeta = "meta"
+	// StatusAttempt records one failed attempt of a unit (retries are
+	// observable in the journal through these).
+	StatusAttempt = "attempt"
+	// StatusOK is a unit's final successful record, carrying its value.
+	StatusOK = "ok"
+	// StatusFailed is a unit's final record after retries are exhausted.
+	StatusFailed = "failed"
+)
+
+// Entry is one journal line.
+type Entry struct {
+	Status  string          `json:"status"`
+	Key     string          `json:"key,omitempty"`
+	Attempt int             `json:"attempt,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Value   json.RawMessage `json:"value,omitempty"`
+	Meta    string          `json:"meta,omitempty"`
+	Sum     string          `json:"sum,omitempty"`
+}
+
+// checksum returns the CRC32 of the entry serialised with an empty Sum.
+func (e Entry) checksum() (string, error) {
+	e.Sum = ""
+	b, err := json.Marshal(e)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(b)), nil
+}
+
+// Journal is a crash-safe record of completed work units.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// final holds the latest ok/failed record per key.
+	final map[string]Entry
+	// Attempts counts attempt records loaded from disk.
+	Attempts int
+	// Skipped counts corrupt or torn lines ignored on load.
+	Skipped int
+	// Discarded explains why pre-existing content was thrown away
+	// ("" when the journal was resumed or empty).
+	Discarded string
+}
+
+// DefaultJournalPath returns the journal location: $CASH_JOURNAL if
+// set, else a file in the user cache directory (falling back to the
+// system temp directory).
+func DefaultJournalPath() string {
+	if p := os.Getenv("CASH_JOURNAL"); p != "" {
+		return p
+	}
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "cash-journal.jsonl")
+	}
+	return filepath.Join(os.TempDir(), "cash-journal.jsonl")
+}
+
+// OpenJournal opens (creating if needed) the journal at path. meta
+// fingerprints the run; existing content is loaded for resume only when
+// resume is true AND the stored fingerprint matches, and is otherwise
+// truncated (with the reason in Discarded).
+func OpenJournal(path, meta string, resume bool) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("supervise: creating journal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("supervise: opening journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, final: make(map[string]Entry)}
+
+	keep := false
+	if resume {
+		var why string
+		keep, why = j.load(meta)
+		if !keep {
+			j.Discarded = why
+		}
+	} else {
+		if st, err := f.Stat(); err == nil && st.Size() > 0 {
+			j.Discarded = "fresh run (no -resume)"
+		}
+	}
+	if !keep {
+		j.final = make(map[string]Entry)
+		j.Attempts, j.Skipped = 0, 0
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("supervise: truncating journal: %w", err)
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("supervise: rewinding journal: %w", err)
+		}
+		if err := j.append(Entry{Status: StatusMeta, Meta: meta}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		// Position at end for appends.
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("supervise: seeking journal: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// load reads existing records; it reports whether the content is
+// resumable and, if not, why.
+func (j *Journal) load(meta string) (ok bool, why string) {
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return false, "unreadable journal"
+	}
+	sc := bufio.NewScanner(j.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	first := true
+	any := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		any = true
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			j.Skipped++
+			continue
+		}
+		sum, err := e.checksum()
+		if err != nil || sum != e.Sum {
+			j.Skipped++
+			continue
+		}
+		if first {
+			first = false
+			if e.Status != StatusMeta {
+				return false, "journal missing meta header"
+			}
+			if e.Meta != meta {
+				return false, fmt.Sprintf("journal is for a different run (%s)", e.Meta)
+			}
+			continue
+		}
+		switch e.Status {
+		case StatusAttempt:
+			j.Attempts++
+		case StatusOK, StatusFailed:
+			j.final[e.Key] = e
+		}
+	}
+	if !any {
+		return false, ""
+	}
+	if first {
+		// Content existed but no line survived the checksum.
+		return false, "journal entirely corrupt"
+	}
+	return true, ""
+}
+
+// Lookup returns the final record for a key, if any.
+func (j *Journal) Lookup(key string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.final[key]
+	return e, ok
+}
+
+// Completed returns how many keys have a final ok record.
+func (j *Journal) Completed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.final {
+		if e.Status == StatusOK {
+			n++
+		}
+	}
+	return n
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// append checksums and writes one record as a single write syscall, so
+// a crash can tear at most the final line.
+func (j *Journal) append(e Entry) error {
+	sum, err := e.checksum()
+	if err != nil {
+		return fmt.Errorf("supervise: journal marshal: %w", err)
+	}
+	e.Sum = sum
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("supervise: journal marshal: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("supervise: journal write: %w", err)
+	}
+	return nil
+}
+
+// Record appends a record and, for final records, syncs it to disk and
+// updates the resume index.
+func (j *Journal) Record(e Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(e); err != nil {
+		return err
+	}
+	switch e.Status {
+	case StatusOK, StatusFailed:
+		j.final[e.Key] = e
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("supervise: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

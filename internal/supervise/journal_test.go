@@ -1,0 +1,165 @@
+package supervise
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJournal(t *testing.T, path, meta string, entries []Entry) {
+	t.Helper()
+	j, err := OpenJournal(path, meta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := j.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, "run1", []Entry{
+		{Status: StatusAttempt, Key: "a", Attempt: 1, Kind: "error", Error: "x"},
+		{Status: StatusOK, Key: "a", Attempt: 2, Value: json.RawMessage(`{"cost":1.5}`)},
+		{Status: StatusFailed, Key: "b", Attempt: 3, Kind: "panic", Error: "panic: y"},
+	})
+
+	j, err := OpenJournal(path, "run1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Discarded != "" || j.Skipped != 0 {
+		t.Fatalf("clean journal misread: discarded=%q skipped=%d", j.Discarded, j.Skipped)
+	}
+	if j.Attempts != 1 {
+		t.Errorf("attempt records = %d, want 1 (retries must be observable)", j.Attempts)
+	}
+	a, ok := j.Lookup("a")
+	if !ok || a.Status != StatusOK || string(a.Value) != `{"cost":1.5}` {
+		t.Fatalf("entry a = %+v, %v", a, ok)
+	}
+	b, ok := j.Lookup("b")
+	if !ok || b.Status != StatusFailed || b.Kind != "panic" {
+		t.Fatalf("entry b = %+v, %v", b, ok)
+	}
+	if j.Completed() != 1 {
+		t.Errorf("Completed() = %d, want 1", j.Completed())
+	}
+}
+
+func TestJournalTornTailSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, "run1", []Entry{
+		{Status: StatusOK, Key: "a", Attempt: 1, Value: json.RawMessage(`1`)},
+		{Status: StatusOK, Key: "b", Attempt: 1, Value: json.RawMessage(`2`)},
+	})
+	// Simulate a kill mid-write: chop the file inside the final line.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(path, "run1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Discarded != "" {
+		t.Fatalf("torn tail must not discard the journal: %q", j.Discarded)
+	}
+	if j.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1 torn line", j.Skipped)
+	}
+	if _, ok := j.Lookup("a"); !ok {
+		t.Error("intact entry lost")
+	}
+	if _, ok := j.Lookup("b"); ok {
+		t.Error("torn entry must not resolve")
+	}
+}
+
+func TestJournalChecksumMismatchSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, "run1", []Entry{
+		{Status: StatusOK, Key: "a", Attempt: 1, Value: json.RawMessage(`1`)},
+	})
+	// Corrupt the value in place, leaving valid JSON but a stale sum.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(b), `"value":1`, `"value":9`, 1)
+	if mangled == string(b) {
+		t.Fatal("test setup: value not found")
+	}
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(path, "run1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, ok := j.Lookup("a"); ok {
+		t.Error("checksum-mismatched entry must not resolve")
+	}
+	if j.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", j.Skipped)
+	}
+}
+
+func TestJournalMetaMismatchDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, "scale=1 seed=7", []Entry{
+		{Status: StatusOK, Key: "a", Attempt: 1, Value: json.RawMessage(`1`)},
+	})
+	j, err := OpenJournal(path, "scale=0.5 seed=7", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Discarded == "" {
+		t.Fatal("meta mismatch must discard the journal")
+	}
+	if _, ok := j.Lookup("a"); ok {
+		t.Error("entries from a different run must not resolve")
+	}
+}
+
+func TestJournalFreshRunTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, "m", []Entry{
+		{Status: StatusOK, Key: "a", Attempt: 1, Value: json.RawMessage(`1`)},
+	})
+	j, err := OpenJournal(path, "m", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, ok := j.Lookup("a"); ok {
+		t.Error("non-resume open must not reuse old entries")
+	}
+	if j.Discarded == "" {
+		t.Error("truncation reason should be recorded")
+	}
+}
+
+func TestDefaultJournalPathEnvOverride(t *testing.T) {
+	t.Setenv("CASH_JOURNAL", "/tmp/custom.jsonl")
+	if p := DefaultJournalPath(); p != "/tmp/custom.jsonl" {
+		t.Errorf("DefaultJournalPath() = %q", p)
+	}
+}
