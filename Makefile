@@ -1,9 +1,11 @@
 # Development targets. `make check` is the gate to run before sending a
-# change: vet + the full test suite under the race detector.
+# change: vet + the full test suite under the race detector. `make lint`
+# and `make fuzz-smoke` run alongside it in CI.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench lint fuzz-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -18,6 +20,31 @@ race:
 	$(GO) test -race ./...
 
 check: vet race
+
+# lint prefers golangci-lint (.golangci.yml) but degrades to vet + a
+# gofmt diff check where the binary is not installed, so the target is
+# runnable in every environment.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not found; falling back to go vet + gofmt"; \
+		$(GO) vet ./...; \
+		out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+			echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		fi; \
+	fi
+
+# fuzz-smoke gives each native fuzz target a short budget — a crash
+# regression gate, not a bug hunt. Lengthen with FUZZTIME=5m.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzGenTrace -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run='^$$' -fuzz=FuzzReqQueue -fuzztime=$(FUZZTIME) ./internal/experiment/
+
+# chaos runs the guardrail soak the way CI does: every scenario, the
+# default seed count, guardrails armed.
+chaos: build
+	$(GO) run ./cmd/cashsim -chaos
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -29,6 +29,7 @@ package cash
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"cash/internal/alloc"
@@ -37,6 +38,8 @@ import (
 	"cash/internal/experiment"
 	"cash/internal/fault"
 	"cash/internal/figs"
+	"cash/internal/guard"
+	"cash/internal/guard/chaos"
 	"cash/internal/oracle"
 	"cash/internal/slice"
 	"cash/internal/ssim"
@@ -125,6 +128,31 @@ type (
 // GenerateFaults draws a random, reproducible fault schedule: the same
 // spec always yields the same schedule.
 func GenerateFaults(spec FaultSpec) (FaultSchedule, error) { return fault.Generate(spec) }
+
+// Guardrail types (control-loop robustness). Set RuntimeOptions.
+// Guardrails to arm the watchdogs; Result.Guard reports their activity.
+type (
+	// GuardConfig tunes the guardrail thresholds (zero value = defaults).
+	GuardConfig = guard.Config
+	// GuardStats counts guardrail trips and recoveries over a run.
+	GuardStats = guard.Stats
+	// ChaosOptions configure the chaos soak harness.
+	ChaosOptions = chaos.Options
+	// ChaosReport is a completed soak with per-seed outcomes.
+	ChaosReport = chaos.Report
+	// ChaosSeedResult is one (scenario, seed) run of the soak.
+	ChaosSeedResult = chaos.SeedResult
+)
+
+// RunChaos executes the chaos soak: adversarial workloads (phase
+// storms, load spikes, all-miss memory phases), injected tile faults
+// and deliberate runtime-state corruption across many seeds, asserting
+// no panics, no NaN in runtime state, breaker-bounded QoS-violation
+// streaks and byte-identical replay per seed.
+func RunChaos(opts ChaosOptions) (ChaosReport, error) { return chaos.Run(opts) }
+
+// ChaosScenarios lists the soak's built-in scenario names.
+func ChaosScenarios() []string { return chaos.Scenarios() }
 
 // ConfigSpace returns the full 8×8 virtual-core configuration grid.
 func ConfigSpace() []Config { return vcore.Space() }
@@ -227,6 +255,12 @@ func Reproduce(w io.Writer, artifact string, scale float64) error {
 
 // ReproduceWith is Reproduce with full options.
 func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
+	if math.IsNaN(o.Scale) || math.IsInf(o.Scale, 0) || o.Scale < 0 {
+		return fmt.Errorf("cash: workload scale %v must be a non-negative finite factor", o.Scale)
+	}
+	if o.FaultRate < 0 || math.IsNaN(o.FaultRate) || math.IsInf(o.FaultRate, 0) {
+		return fmt.Errorf("cash: fault rate %v must be a non-negative finite rate", o.FaultRate)
+	}
 	h := figs.New(w)
 	if o.Scale > 0 {
 		h.Scale = o.Scale

@@ -58,13 +58,23 @@ func main() {
 	journal := flag.String("journal", cash.DefaultJournalPath(), `crash-safe result journal ("-" disables)`)
 	resume := flag.Bool("resume", false, "replay journal-completed cells from an interrupted run")
 	verbose := flag.Bool("v", false, "print supervision diagnostics (retries, journal reuse) to stderr")
+	chaosMode := flag.Bool("chaos", false, "run the guardrail chaos soak instead of an artifact")
+	chaosSeeds := flag.Int("chaos-seeds", 20, "chaos soak: seeds per scenario")
+	chaosQuanta := flag.Int("chaos-quanta", 0, "chaos soak: control quanta per run (0 = default)")
+	chaosGuard := flag.Bool("chaos-guard", true, "chaos soak: arm the guardrails (false = hazard baseline)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] <artifact>\n\n")
+		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] <artifact>\n")
+		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-out file]\n\n")
 		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *chaosMode {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+	} else if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,6 +88,29 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *chaosMode {
+		start := time.Now()
+		rep, err := cash.RunChaos(cash.ChaosOptions{
+			Seeds: *chaosSeeds, Quanta: *chaosQuanta, Guardrails: *chaosGuard,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(w, rep.Summary())
+		for _, r := range rep.Results {
+			if len(r.Violations) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  FAIL %s seed %d: %v\n", r.Scenario, r.Seed, r.Violations)
+		}
+		fmt.Fprintf(os.Stderr, "cashsim: chaos soak done in %v\n", time.Since(start).Round(time.Millisecond))
+		if *chaosGuard && !rep.Passed() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var log io.Writer

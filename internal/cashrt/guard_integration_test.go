@@ -1,0 +1,195 @@
+package cashrt
+
+import (
+	"math"
+	"testing"
+
+	"cash/internal/alloc"
+	"cash/internal/cost"
+	"cash/internal/guard"
+	"cash/internal/qlearn"
+	"cash/internal/vcore"
+)
+
+func TestNewRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name   string
+		target float64
+		model  cost.Model
+		opts   Options
+	}{
+		{"nan target", math.NaN(), cost.Default(), Options{}},
+		{"inf target", math.Inf(1), cost.Default(), Options{}},
+		{"negative target", -0.5, cost.Default(), Options{}},
+		{"nan margin", 0.5, cost.Default(), Options{Margin: math.NaN()}},
+		{"inf margin", 0.5, cost.Default(), Options{Margin: math.Inf(1)}},
+		{"negative probe period", 0.5, cost.Default(), Options{ProbePeriod: -1}},
+		{"bad guard style", 0.5, cost.Default(), Options{GuardStyle: 17}},
+		{"nan slice price", 0.5, cost.Model{SliceHour: math.NaN()}, Options{}},
+		{"negative bank price", 0.5, cost.Model{BankHour: -1}, Options{}},
+		{"nan alpha", 0.5, cost.Default(), Options{Alpha: math.NaN()}},
+		{"nan epsilon", 0.5, cost.Default(), Options{Epsilon: math.NaN()}},
+		{"nan process var", 0.5, cost.Default(), Options{ProcessVar: math.NaN()}},
+		{"nan measure var", 0.5, cost.Default(), Options{MeasureVar: math.NaN()}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.target, c.model, c.opts); err == nil {
+			t.Errorf("%s: New succeeded, want error", c.name)
+		}
+	}
+}
+
+// TestBackoffCapBoundary is the regression test for the expansion
+// backoff at its cap: repeated denials must walk the exact capped
+// doubling sequence and then stay pinned at the cap — no overflow, no
+// runaway — for arbitrarily many further denials.
+func TestBackoffCapBoundary(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1})
+	deny := []alloc.Observation{{
+		Config: vcore.Config{Slices: 1, L2KB: 64}, Degraded: true, Cycles: 1,
+	}}
+	want := []int64{1, 2, 4, 8, 16, 32, 32, 32}
+	for i, w := range want {
+		r.observeDegradation(deny)
+		if r.backoffLen != w {
+			t.Fatalf("denial %d: backoffLen = %d, want %d", i+1, r.backoffLen, w)
+		}
+		// The window elapses and the retry is denied again.
+		r.backoffLeft = 0
+		r.retrying = true
+	}
+	for i := 0; i < 10_000; i++ {
+		r.observeDegradation(deny)
+		r.backoffLeft = 0
+		r.retrying = true
+	}
+	if r.backoffLen != maxExpandBackoff {
+		t.Fatalf("after 10k denials backoffLen = %d, want pinned at %d", r.backoffLen, maxExpandBackoff)
+	}
+	if r.Backoffs != int64(len(want))+10_000 {
+		t.Fatalf("Backoffs = %d, want %d", r.Backoffs, len(want)+10_000)
+	}
+}
+
+func TestStateCheckCleanOnHealthyRun(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1, Guardrails: true})
+	plant := func(c vcore.Config) float64 { return 0.2 * qlearn.Prior(c) }
+	drive(t, r, plant, 30, 100_000)
+	if err := r.StateCheck(); err != nil {
+		t.Fatalf("healthy guarded run failed StateCheck: %v", err)
+	}
+	if trips := r.GuardStats().Trips(); trips != 0 {
+		t.Errorf("healthy run tripped guardrails %d times: %+v", trips, r.GuardStats())
+	}
+}
+
+// TestGuardrailsRepairInjectedCorruption is the repair property the
+// chaos soak relies on: after adversarial state injection into the
+// filter, the controller and the Q-table, one guarded epoch restores a
+// clean StateCheck.
+func TestGuardrailsRepairInjectedCorruption(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1, Guardrails: true})
+	plant := func(c vcore.Config) float64 { return 0.2 * qlearn.Prior(c) }
+	drive(t, r, plant, 10, 100_000)
+
+	r.Estimator().Inject(math.NaN(), math.Inf(1))
+	r.Controller().Inject(math.NaN())
+	r.Optimizer().PokeQ(vcore.Min(), math.NaN())
+	if err := r.StateCheck(); err == nil {
+		t.Fatal("injection did not corrupt state — test is vacuous")
+	}
+
+	drive(t, r, plant, 2, 100_000)
+	if err := r.StateCheck(); err != nil {
+		t.Fatalf("guarded runtime still corrupt after repair epochs: %v", err)
+	}
+	s := r.GuardStats()
+	if s.KalmanNaNResets == 0 {
+		t.Errorf("Kalman watchdog never fired: %+v", s)
+	}
+	if s.ControllerResets == 0 {
+		t.Errorf("controller sanity clamp never fired: %+v", s)
+	}
+	if s.QTableQuarantined == 0 {
+		t.Errorf("Q-table validator never fired: %+v", s)
+	}
+}
+
+// TestWithoutGuardrailsCorruptionPersists demonstrates the violated
+// invariant that motivates the subsystem: with guardrails off the same
+// injection leaves NaN in runtime state indefinitely.
+func TestWithoutGuardrailsCorruptionPersists(t *testing.T) {
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1})
+	plant := func(c vcore.Config) float64 { return 0.2 * qlearn.Prior(c) }
+	drive(t, r, plant, 10, 100_000)
+	r.Optimizer().PokeQ(vcore.Min(), math.NaN())
+	drive(t, r, plant, 5, 100_000)
+	if err := r.StateCheck(); err == nil {
+		t.Fatal("unguarded runtime cleaned NaN out of the Q-table by itself — guard-off baseline no longer demonstrates the hazard")
+	}
+}
+
+// TestBreakerPinsAndRecovers drives a plant through an impossible phase
+// (QoS physically unreachable) into an easy one, checking the breaker
+// trips to the safe configuration, bounds the violation streak at K,
+// and re-enters optimization after the cooldown.
+func TestBreakerPinsAndRecovers(t *testing.T) {
+	gcfg := guard.Config{BreakerK: 4, BreakerCooldown: 2}
+	r := MustNew(0.5, cost.Default(), Options{Seed: 1, Guardrails: true, Guard: gcfg})
+	impossible := true
+	plant := func(c vcore.Config) float64 {
+		if impossible {
+			return 0.001 * qlearn.Prior(c)
+		}
+		return 0.2 * qlearn.Prior(c)
+	}
+	drive(t, r, plant, 20, 100_000)
+	if !r.GuardPinned() {
+		t.Fatal("breaker did not pin during the impossible phase")
+	}
+	s := r.GuardStats()
+	if s.BreakerTrips == 0 {
+		t.Fatalf("no breaker trips recorded: %+v", s)
+	}
+	if s.MaxViolationStreak > int64(gcfg.BreakerK) {
+		t.Fatalf("violation streak %d exceeds breaker threshold %d", s.MaxViolationStreak, gcfg.BreakerK)
+	}
+	// While pinned, the plan is the safe statically-provisioned config.
+	plan := r.Decide(nil, 100_000)
+	if len(plan.Steps) != 1 || plan.Steps[0].Config != r.Optimizer().Largest() {
+		t.Fatalf("pinned plan = %+v, want the largest configuration", plan)
+	}
+
+	impossible = false
+	drive(t, r, plant, 10, 100_000)
+	if r.GuardPinned() {
+		t.Fatal("breaker did not recover after the easy phase returned")
+	}
+	if got := r.GuardStats().BreakerRecoveries; got == 0 {
+		t.Fatalf("BreakerRecoveries = %d, want >= 1", got)
+	}
+}
+
+// TestGuardedRunStaysDeterministic: two identical guarded runs produce
+// identical plans and identical stats.
+func TestGuardedRunStaysDeterministic(t *testing.T) {
+	run := func() (guard.Stats, alloc.Plan) {
+		r := MustNew(0.5, cost.Default(), Options{Seed: 7, Guardrails: true})
+		plant := func(c vcore.Config) float64 { return 0.15 * qlearn.Prior(c) }
+		drive(t, r, plant, 25, 100_000)
+		return r.GuardStats(), r.Decide(nil, 100_000)
+	}
+	s1, p1 := run()
+	s2, p2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if len(p1.Steps) != len(p2.Steps) {
+		t.Fatalf("plans diverged: %+v vs %+v", p1, p2)
+	}
+	for i := range p1.Steps {
+		if p1.Steps[i] != p2.Steps[i] {
+			t.Fatalf("plan step %d diverged: %+v vs %+v", i, p1.Steps[i], p2.Steps[i])
+		}
+	}
+}

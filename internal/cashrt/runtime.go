@@ -20,10 +20,12 @@ package cashrt
 
 import (
 	"fmt"
+	"math"
 
 	"cash/internal/alloc"
 	"cash/internal/control"
 	"cash/internal/cost"
+	"cash/internal/guard"
 	"cash/internal/qlearn"
 	"cash/internal/vcore"
 )
@@ -62,6 +64,14 @@ type Options struct {
 	// 0 = deflate-only (default), 1 = both directions, 2 = off.
 	RescaleMode int
 
+	// Guardrails enables the runtime guardrail subsystem (package
+	// guard): the Kalman watchdog, controller sanity clamp, Q-table
+	// validator, thrash rate limiter and top-level QoS circuit breaker.
+	Guardrails bool
+	// Guard tunes the guardrail thresholds; zero fields select the
+	// guard package defaults. Ignored unless Guardrails is set.
+	Guard guard.Config
+
 	// DisableLearning freezes speedup estimates at their initial model
 	// (ablation: what the convex baseline effectively does).
 	DisableLearning bool
@@ -75,10 +85,11 @@ type Options struct {
 
 // Runtime implements alloc.Allocator with the CASH control loop.
 type Runtime struct {
-	ctrl *control.Controller
-	est  *control.Estimator
-	opt  *qlearn.Optimizer
-	opts Options
+	ctrl  *control.Controller
+	est   *control.Estimator
+	opt   *qlearn.Optimizer
+	guard *guard.Guard // nil unless Options.Guardrails
+	opts  Options
 
 	name        string
 	lastSpeedup float64 // the controller's demand s(t)
@@ -135,7 +146,27 @@ const (
 const guardAfterMisses = 2
 
 // New builds a runtime for the given QoS target and pricing model.
+// Nonsensical inputs — NaN or non-positive targets, NaN tuning knobs,
+// negative probe periods, invalid price vectors — are rejected here:
+// every one of them would otherwise disappear into the control loop
+// (NaN fails all comparisons) and surface quanta later as an
+// inexplicable scheduling pathology.
 func New(target float64, model cost.Model, opts Options) (*Runtime, error) {
+	if !(target > 0) || math.IsInf(target, 0) {
+		return nil, fmt.Errorf("cashrt: QoS target %v must be positive and finite", target)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(opts.Margin) || math.IsInf(opts.Margin, 0) {
+		return nil, fmt.Errorf("cashrt: margin %v must be finite", opts.Margin)
+	}
+	if opts.ProbePeriod < 0 {
+		return nil, fmt.Errorf("cashrt: probe period %d must be non-negative", opts.ProbePeriod)
+	}
+	if opts.GuardStyle < GuardOff || opts.GuardStyle > GuardDemand {
+		return nil, fmt.Errorf("cashrt: unknown guard style %d", opts.GuardStyle)
+	}
 	if opts.Alpha == 0 {
 		opts.Alpha = qlearn.DefaultAlpha
 	}
@@ -176,7 +207,11 @@ func New(target float64, model cost.Model, opts Options) (*Runtime, error) {
 		opt.SetRelativeModel(qlearn.Prior)
 	}
 	opt.NoSnap = opts.NoSnap
-	return &Runtime{ctrl: ctrl, est: est, opt: opt, opts: opts, name: "CASH"}, nil
+	r := &Runtime{ctrl: ctrl, est: est, opt: opt, opts: opts, name: "CASH"}
+	if opts.Guardrails {
+		r.guard = guard.New(opts.Guard)
+	}
+	return r, nil
 }
 
 // MustNew is New for statically-valid arguments.
@@ -201,6 +236,50 @@ func (r *Runtime) Optimizer() *qlearn.Optimizer { return r.opt }
 
 // Estimator exposes the Kalman filter (for tests).
 func (r *Runtime) Estimator() *control.Estimator { return r.est }
+
+// Controller exposes the deadbeat controller (for the chaos harness's
+// fault injection and for tests).
+func (r *Runtime) Controller() *control.Controller { return r.ctrl }
+
+// GuardStats returns the guardrail trip counters (zero when guardrails
+// are disabled).
+func (r *Runtime) GuardStats() guard.Stats {
+	if r.guard == nil {
+		return guard.Stats{}
+	}
+	return r.guard.Stats()
+}
+
+// GuardPinned reports whether the QoS circuit breaker currently pins
+// the safe configuration.
+func (r *Runtime) GuardPinned() bool { return r.guard != nil && r.guard.Pinned() }
+
+// StateCheck scans every piece of mutable control-loop state for
+// non-finite values and reports the first violation found. The chaos
+// soak calls it after every quantum: with guardrails on it must never
+// fail, because each watchdog repairs its component before the state
+// escapes the epoch.
+func (r *Runtime) StateCheck() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"kalman estimate", r.est.Estimate()},
+		{"kalman error variance", r.est.ErrVar()},
+		{"controller speedup", r.ctrl.Speedup()},
+		{"last demand", r.lastSpeedup},
+		{"last planned speedup", r.lastPlanned},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			return fmt.Errorf("cashrt: %s is %v", c.name, c.v)
+		}
+	}
+	if n := r.opt.InvalidEntries(0); n > 0 {
+		return fmt.Errorf("cashrt: Q-table holds %d non-finite entries", n)
+	}
+	return nil
+}
 
 // Iterations returns how many control iterations have run.
 func (r *Runtime) Iterations() int64 { return r.iterations }
@@ -231,6 +310,14 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 		measured = float64(instrs) / float64(cycles)
 	}
 
+	// Guardrails, stage 1: validate the learned table before anything
+	// reads it, and note the filter state before this epoch's update so
+	// the watchdog can judge the innovation afterwards.
+	if r.guard != nil {
+		r.guard.BeginEpoch()
+		r.guard.CheckQTable(r.opt)
+	}
+
 	// Update the base-speed estimate from the speedup we applied, and
 	// shift the learned QoS table by the same factor: a phase change
 	// detected by the estimator instantly rescales every
@@ -242,6 +329,20 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	// just falsified; idle-tail probes discover cheapening instead.
 	prevBase := r.est.Estimate()
 	base := r.updateBase(measured, cycles > 0)
+	// Guardrails, stage 2: the Kalman watchdog judges the post-update
+	// filter (NaN/Inf state, covariance blow-up, sustained innovation
+	// divergence). A reset re-seeds the filter from the next sample; the
+	// rescale below is skipped for this epoch because the reset estimate
+	// carries no phase information.
+	if r.guard != nil {
+		applied := r.lastPlanned
+		if applied <= 0 {
+			applied = 1
+		}
+		if r.guard.CheckKalman(r.est, prevBase, applied, measured, cycles > 0) {
+			base = r.est.Estimate()
+		}
+	}
 	if prevBase > 0 && base > 0 {
 		switch {
 		case r.opts.RescaleMode == 0 && base < prevBase:
@@ -286,6 +387,12 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	// Controller: speedup demand, clamped to what the architecture can
 	// deliver (anti-windup: an unachievable demand would otherwise
 	// integrate without bound while the plant saturates).
+	// Guardrails, stage 3: a corrupted integrator is reset before it is
+	// consulted; the Update below then re-seeds the speedup from the
+	// target exactly as at start-up.
+	if r.guard != nil {
+		r.guard.CheckController(r.ctrl)
+	}
 	speedup := r.ctrl.Update(measured, base)
 	demand := speedup * base
 	if base <= 0 {
@@ -308,6 +415,24 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	// observations (including the warm ones that matter) keep flowing
 	// into the optimizer, so on exit the estimates are current.
 	rawTarget := r.ctrl.Target / (1 + r.opts.Margin)
+
+	// Guardrails, stage 4: the top-level QoS circuit breaker. After K
+	// consecutive violating epochs, optimization is abandoned outright
+	// and a safe statically-provisioned configuration (the largest) is
+	// pinned; optimization re-enters only after a cooldown of met-QoS
+	// epochs. The pinned plan bypasses the thrash limiter — safety
+	// outranks smoothness — but still respects fabric capacity backoff.
+	if r.guard != nil && r.guard.BreakerTick(measured, rawTarget, cycles > 0) {
+		big := r.opt.Largest()
+		if base > 0 {
+			r.lastPlanned = r.opt.QoSEstimate(big, base) / base
+		} else {
+			r.lastPlanned = 1
+		}
+		r.lastSpeedup = r.lastPlanned
+		return r.applyBackoff(alloc.Plan{Steps: []alloc.Step{{Config: big, MaxCycles: tau}}})
+	}
+
 	if cycles > 0 {
 		if measured < rawTarget {
 			r.misses++
@@ -349,7 +474,14 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	} else {
 		r.lastPlanned = 1
 	}
-	return r.applyBackoff(r.planFrom(sched, tau, demand, base))
+	p := r.planFrom(sched, tau, demand, base)
+	// Guardrails, stage 5: deadbeat-oscillation detection. If the
+	// planned configuration stream thrashes above the windowed rate
+	// threshold, resizes are rate-limited until the thrash subsides.
+	if r.guard != nil && len(p.Steps) > 0 {
+		p = r.guard.LimitPlan(p, p.Steps[0].Config)
+	}
+	return r.applyBackoff(p)
 }
 
 // observeDegradation updates the expansion-backoff state from the
@@ -371,9 +503,12 @@ func (r *Runtime) observeDegradation(prev []alloc.Observation) {
 	case degraded && (r.retrying || r.backoffLen == 0):
 		// A fresh denial, or a retry that was denied again: back off
 		// (exponentially, capped).
-		if r.backoffLen == 0 {
+		switch {
+		case r.backoffLen == 0:
 			r.backoffLen = 1
-		} else {
+		case r.backoffLen < maxExpandBackoff:
+			// Doubling only below the cap keeps the arithmetic overflow-
+			// free no matter how many denials accumulate over a long run.
 			r.backoffLen *= 2
 			if r.backoffLen > maxExpandBackoff {
 				r.backoffLen = maxExpandBackoff

@@ -4,7 +4,10 @@
 // application's base speed across phases.
 package control
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Controller is the deadbeat QoS controller of Eqns. 1–2:
 //
@@ -23,10 +26,12 @@ type Controller struct {
 	started bool
 }
 
-// NewController returns a controller for the given QoS target.
+// NewController returns a controller for the given QoS target. The
+// target must be positive and finite; NaN and Inf are rejected rather
+// than silently producing a controller that can never settle.
 func NewController(target float64) (*Controller, error) {
-	if target <= 0 {
-		return nil, fmt.Errorf("control: QoS target %v must be positive", target)
+	if !(target > 0) || math.IsInf(target, 0) {
+		return nil, fmt.Errorf("control: QoS target %v must be positive and finite", target)
 	}
 	return &Controller{Target: target}, nil
 }
@@ -51,6 +56,11 @@ func (c *Controller) Update(measured, baseEstimate float64) float64 {
 		c.started = true
 		return c.speedup
 	}
+	if math.IsNaN(measured) || math.IsInf(measured, 0) {
+		// A corrupted measurement carries no error signal; integrating
+		// it would poison the stored speedup permanently.
+		return c.speedup
+	}
 	err := c.Target - measured
 	c.speedup += err / baseEstimate
 	if c.speedup < 0 {
@@ -69,8 +79,16 @@ func (c *Controller) Clamp(limit float64) {
 	}
 }
 
-// Reset clears controller state (used when the workload changes).
+// Reset clears controller state (used when the workload changes, and by
+// the guard watchdog to recover a corrupted integrator).
 func (c *Controller) Reset() {
 	c.speedup = 0
 	c.started = false
+}
+
+// Inject overwrites the integrator state in place — fault injection for
+// the chaos harness (see Estimator.Inject). Not for production use.
+func (c *Controller) Inject(speedup float64) {
+	c.speedup = speedup
+	c.started = true
 }

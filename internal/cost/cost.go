@@ -11,6 +11,7 @@ package cost
 
 import (
 	"fmt"
+	"math"
 
 	"cash/internal/mem"
 	"cash/internal/vcore"
@@ -51,6 +52,23 @@ func (m Model) normalized() Model {
 		m.BankHour = PerBankHour
 	}
 	return m
+}
+
+// Validate rejects nonsensical price vectors: negative or non-finite
+// rates. A cost-minimizing optimizer fed a negative or NaN rate would
+// silently chase garbage (every comparison against NaN is false), so
+// constructors surface the error instead. Zero fields are legal — they
+// select the paper's defaults.
+func (m Model) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"SliceHour", m.SliceHour}, {"BankHour", m.BankHour}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("cost: %s rate %v must be a non-negative finite price", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // Rate returns the configuration's rental rate in $/hour.

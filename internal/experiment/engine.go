@@ -7,10 +7,12 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"cash/internal/alloc"
 	"cash/internal/cost"
 	"cash/internal/fault"
+	"cash/internal/guard"
 	"cash/internal/noc"
 	"cash/internal/perf"
 	"cash/internal/slice"
@@ -58,6 +60,48 @@ type Opts struct {
 	// (default 16x16, which fully hosts the largest virtual core).
 	FabricWidth  int
 	FabricHeight int
+	// EpochHook, when non-nil, runs after every completed control
+	// quantum with the simulator and the quantum index. Returning an
+	// error aborts the run. The chaos soak uses it to assert runtime
+	// invariants (no NaN in state, simulator consistency) at every
+	// epoch rather than only at the end.
+	EpochHook func(sim *ssim.Sim, quantum int) error
+}
+
+// validate rejects option combinations that would silently corrupt a
+// run: NaN/Inf targets vanish into comparisons (every test against NaN
+// is false, so QoS violations would never be counted), negative quanta
+// or tolerances invert the accounting, and negative fabric dimensions
+// panic deep inside the chip model.
+func (o Opts) validate() error {
+	if !(o.Target > 0) || math.IsInf(o.Target, 0) {
+		return fmt.Errorf("experiment: QoS target %v must be positive and finite", o.Target)
+	}
+	return o.validateCommon()
+}
+
+// validateCommon checks the fields shared with server mode, which has
+// no IPC target (its QoS signal is the normalized latency ratio).
+func (o Opts) validateCommon() error {
+	if math.IsNaN(o.Target) || math.IsInf(o.Target, 0) || o.Target < 0 {
+		return fmt.Errorf("experiment: QoS target %v must be non-negative and finite", o.Target)
+	}
+	if o.Tau < 0 {
+		return fmt.Errorf("experiment: control quantum %d must be non-negative", o.Tau)
+	}
+	if math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) || o.Tolerance < 0 || o.Tolerance >= 1 {
+		return fmt.Errorf("experiment: tolerance %v must be in [0, 1)", o.Tolerance)
+	}
+	if o.MaxQuanta < 0 {
+		return fmt.Errorf("experiment: max quanta %d must be non-negative", o.MaxQuanta)
+	}
+	if o.FabricWidth < 0 || o.FabricHeight < 0 {
+		return fmt.Errorf("experiment: fabric dimensions %dx%d must be non-negative", o.FabricWidth, o.FabricHeight)
+	}
+	if err := o.Model.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 func (o Opts) withDefaults() Opts {
@@ -119,6 +163,19 @@ type Result struct {
 	StallCycles   int64
 
 	FaultStats
+
+	// Guard holds the guardrail trip counters when the policy runs with
+	// guardrails enabled (zero otherwise). Carried here so the figure
+	// harness and the reliability artifact can report them per run.
+	Guard guard.Stats
+}
+
+// guardStatser is implemented by policies that carry the guardrail
+// subsystem (cashrt.Runtime with Options.Guardrails); the engine pulls
+// their trip counters into the Result without a package dependency on
+// the runtime.
+type guardStatser interface {
+	GuardStats() guard.Stats
 }
 
 // MeanCostRate returns the run's average $/hour.
@@ -132,8 +189,8 @@ func (r Result) MeanCostRate() float64 {
 // Run executes app under the policy until the workload completes.
 func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
-	if opts.Target <= 0 {
-		return Result{}, fmt.Errorf("experiment: QoS target must be positive")
+	if err := opts.validate(); err != nil {
+		return Result{}, err
 	}
 	sim, err := ssim.New(opts.Initial, opts.SliceCfg, opts.Policy)
 	if err != nil {
@@ -269,6 +326,12 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 			}
 		}
 
+		if opts.EpochHook != nil {
+			if herr := opts.EpochHook(sim, quanta); herr != nil {
+				return res, fmt.Errorf("experiment: epoch hook at quantum %d: %w", quanta, herr)
+			}
+		}
+
 		qCycles := sim.Cycle() - qStart
 		if qCycles == 0 {
 			continue
@@ -303,6 +366,9 @@ func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 	res.TotalCycles = sim.Cycle()
 	if len(res.Samples) > 0 {
 		res.ViolationRate = float64(res.Violations) / float64(len(res.Samples))
+	}
+	if gs, ok := policy.(guardStatser); ok {
+		res.Guard = gs.GuardStats()
 	}
 	return res, nil
 }

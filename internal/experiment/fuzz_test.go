@@ -1,0 +1,63 @@
+package experiment
+
+import "testing"
+
+// FuzzReqQueue drives the compacting FIFO with an arbitrary push/pop
+// script against a reference slice. Every pushed request must come out
+// exactly once, in arrival order, and the head-index invariants must
+// survive compaction no matter how the operations interleave.
+func FuzzReqQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 3, 0})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var q reqQueue
+		var model []int64
+		next := int64(0)
+
+		check := func() {
+			if q.head < 0 || q.head > len(q.buf) {
+				t.Fatalf("head index out of range: head=%d len=%d", q.head, len(q.buf))
+			}
+			if live := len(q.buf) - q.head; live != len(model) {
+				t.Fatalf("queue holds %d live entries, model %d", live, len(model))
+			}
+			if q.empty() != (len(model) == 0) {
+				t.Fatalf("empty()=%v with %d modelled entries", q.empty(), len(model))
+			}
+			if !q.empty() && q.front().arrival != model[0] {
+				t.Fatalf("front=%d, model front=%d", q.front().arrival, model[0])
+			}
+		}
+
+		for _, op := range script {
+			if op == 0 {
+				if q.empty() {
+					continue
+				}
+				if got := q.front().arrival; got != model[0] {
+					t.Fatalf("served %d out of order, want %d", got, model[0])
+				}
+				q.pop()
+				model = model[1:]
+			} else {
+				// A burst of op arrivals; bursts of up to 255 cross the
+				// compaction threshold quickly on longer scripts.
+				for i := byte(0); i < op; i++ {
+					q.push(request{arrival: next, remaining: 1})
+					model = append(model, next)
+					next++
+				}
+			}
+			check()
+		}
+		for !q.empty() {
+			if got := q.front().arrival; got != model[0] {
+				t.Fatalf("drained %d out of order, want %d", got, model[0])
+			}
+			q.pop()
+			model = model[1:]
+			check()
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"cash/internal/alloc"
 	"cash/internal/cost"
+	"cash/internal/guard"
 	"cash/internal/ssim"
 	"cash/internal/workload"
 )
@@ -55,6 +56,10 @@ type ServerResult struct {
 	Served        int64
 
 	FaultStats
+
+	// Guard carries guardrail trip counters when the policy runs with
+	// guardrails enabled (zero otherwise).
+	Guard guard.Stats
 }
 
 type request struct {
@@ -93,16 +98,25 @@ func (q *reqQueue) pop() {
 // RunServer executes the apache experiment under a policy.
 func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	o := opts.Opts.withDefaults()
+	if err := o.validateCommon(); err != nil {
+		return ServerResult{}, err
+	}
 	if opts.Stream == nil {
 		opts.Stream = workload.DefaultApacheStream()
 	}
 	if err := opts.Stream.Validate(); err != nil {
 		return ServerResult{}, err
 	}
-	if opts.TargetLatencyCycles <= 0 {
+	if opts.TargetLatencyCycles < 0 {
+		return ServerResult{}, fmt.Errorf("experiment: target latency %d must be non-negative", opts.TargetLatencyCycles)
+	}
+	if opts.TargetLatencyCycles == 0 {
 		opts.TargetLatencyCycles = 110_000
 	}
-	if opts.Horizon <= 0 {
+	if opts.Horizon < 0 {
+		return ServerResult{}, fmt.Errorf("experiment: horizon %d must be non-negative", opts.Horizon)
+	}
+	if opts.Horizon == 0 {
 		opts.Horizon = 240_000_000 // a few full load swings (Fig 9)
 	}
 	sim, err := ssim.New(o.Initial, o.SliceCfg, o.Policy)
@@ -132,7 +146,9 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	}
 
 	var prev []alloc.Observation
+	quanta := 0
 	for sim.Cycle() < opts.Horizon {
+		quanta++
 		plan := policy.Decide(prev, o.Tau)
 		if len(plan.Steps) == 0 {
 			plan.Steps = []alloc.Step{{Config: sim.Config(), MaxCycles: o.Tau}}
@@ -260,6 +276,12 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 			}
 		}
 
+		if o.EpochHook != nil {
+			if herr := o.EpochHook(sim, quanta); herr != nil {
+				return res, fmt.Errorf("experiment: epoch hook at quantum %d: %w", quanta, herr)
+			}
+		}
+
 		qCycles := sim.Cycle() - qStart
 		if qCycles <= 0 {
 			// The plan made no progress (e.g. pure idle against an
@@ -299,6 +321,9 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	}
 	if len(res.Samples) > 0 {
 		res.ViolationRate = float64(res.Violations) / float64(len(res.Samples))
+	}
+	if gs, ok := policy.(guardStatser); ok {
+		res.Guard = gs.GuardStats()
 	}
 	return res, nil
 }

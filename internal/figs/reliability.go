@@ -7,6 +7,7 @@ import (
 	"cash/internal/cashrt"
 	"cash/internal/experiment"
 	"cash/internal/fault"
+	"cash/internal/guard"
 	"cash/internal/supervise"
 	"cash/internal/vcore"
 	"cash/internal/workload"
@@ -40,6 +41,9 @@ type ReliabilityRow struct {
 	// Backoffs is the CASH runtime's expansion-retry backoff count
 	// (zero for the static baselines).
 	Backoffs int64
+	// Guard carries the guardrail trip counters for the CASH+guard row
+	// (zero for every other policy).
+	Guard guard.Stats
 }
 
 // Reliability runs the fault-injection comparison and prints the table.
@@ -66,6 +70,12 @@ func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 	}{
 		{"CASH", func() alloc.Allocator {
 			return cashrt.MustNew(target, h.Model, cashrt.Options{Seed: h.Seed})
+		}},
+		// The same runtime with the guardrail subsystem armed: the fault
+		// storm exercises the watchdogs, and the trips column shows what
+		// they caught.
+		{"CASH+guard", func() alloc.Allocator {
+			return cashrt.MustNew(target, h.Model, cashrt.Options{Seed: h.Seed, Guardrails: true})
 		}},
 		// Fully provisioned: the tenant owns every tile, so each strike
 		// must degrade it — the worst case for static allocation.
@@ -121,6 +131,7 @@ func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 					if rt, isCASH := policy.(*cashrt.Runtime); isCASH {
 						row.Backoffs = rt.Backoffs
 					}
+					row.Guard = res.Guard
 					return row, nil
 				},
 			})
@@ -129,8 +140,8 @@ func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 	reps := h.runCells(units)
 
 	h.printf("Reliability: cost and QoS under injected tile faults (4x4 chip, accelerated rates)\n\n")
-	h.printf("%-18s %-12s %10s %7s %7s %7s %7s %7s %8s %9s\n",
-		"allocator", "faults/Mcyc", "$", "vs ok", "viol%", "strikes", "remaps", "degr", "denials", "backoffs")
+	h.printf("%-18s %-12s %10s %7s %7s %7s %7s %7s %8s %9s %6s\n",
+		"allocator", "faults/Mcyc", "$", "vs ok", "viol%", "strikes", "remaps", "degr", "denials", "backoffs", "trips")
 
 	var rows []ReliabilityRow
 	i := 0
@@ -155,12 +166,12 @@ func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 			if faultFreeCost > 0 {
 				rel = row.Cost / faultFreeCost
 			}
-			h.printf("%-18s %-12.2f %10.3g %6.2fx %7.1f %7d %7d %7d %8d %9d\n",
+			h.printf("%-18s %-12.2f %10.3g %6.2fx %7.1f %7d %7d %7d %8d %9d %6d\n",
 				row.Allocator, row.Rate, row.Cost, rel, 100*row.ViolationRate,
 				row.Stats.Faults, row.Stats.Remaps, row.Stats.Degradations,
-				row.Stats.Denials, row.Backoffs)
+				row.Stats.Denials, row.Backoffs, row.Guard.Trips())
 		}
 	}
-	h.printf("\n(strikes = applied tile faults; degr = forced shrinks; denials = refused expansions)\n")
+	h.printf("\n(strikes = applied tile faults; degr = forced shrinks; denials = refused expansions; trips = guardrail activations)\n")
 	return rows, nil
 }

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"cash/internal/guard"
 )
 
 func TestReliability(t *testing.T) {
@@ -15,18 +17,29 @@ func TestReliability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 9 {
-		t.Fatalf("want 3 allocators x 3 rates = 9 rows, got %d", len(rows))
+	if len(rows) != 12 {
+		t.Fatalf("want 4 allocators x 3 rates = 12 rows, got %d", len(rows))
 	}
 	totalStrikes := 0
+	guardRows := 0
 	for _, r := range rows {
 		if r.Rate == 0 {
-			zero := ReliabilityRow{Allocator: r.Allocator, Rate: 0, Cost: r.Cost, ViolationRate: r.ViolationRate}
-			if !reflect.DeepEqual(r, zero) {
+			if len(r.Stats.FaultEvents) != 0 || r.Stats.Faults != 0 || r.Stats.Degradations != 0 || r.Backoffs != 0 {
 				t.Errorf("fault-free row must have empty fault stats: %+v", r)
 			}
 		}
+		if r.Allocator == "CASH+guard" {
+			guardRows++
+			if r.Guard.Epochs == 0 {
+				t.Errorf("CASH+guard row carries no guard epochs: %+v", r)
+			}
+		} else if r.Guard != (guard.Stats{}) {
+			t.Errorf("%s row carries guard stats: %+v", r.Allocator, r.Guard)
+		}
 		totalStrikes += r.Stats.Faults
+	}
+	if guardRows != 3 {
+		t.Errorf("want 3 CASH+guard rows, got %d", guardRows)
 	}
 	if totalStrikes == 0 {
 		t.Error("no strikes applied at any nonzero rate")

@@ -33,8 +33,8 @@ func TestCellPanicRendersFailedRow(t *testing.T) {
 	if !strings.Contains(out, "FAILED(panic: injected fault)") {
 		t.Errorf("panicking cell must render as FAILED(panic: ...):\n%s", out)
 	}
-	if len(rows) != 8 {
-		t.Errorf("the other 8 cells must still complete, got %d rows", len(rows))
+	if len(rows) != 11 {
+		t.Errorf("the other 11 cells must still complete, got %d rows", len(rows))
 	}
 	if !strings.Contains(out, "Static(8s/512KB)") {
 		t.Errorf("sibling rows missing from report:\n%s", out)
@@ -86,8 +86,8 @@ func TestCellRetrySucceeds(t *testing.T) {
 	if strings.Contains(buf.String(), "FAILED") {
 		t.Errorf("cell should have recovered on retry:\n%s", buf.String())
 	}
-	if len(rows) != 9 {
-		t.Errorf("want all 9 rows after retry, got %d", len(rows))
+	if len(rows) != 12 {
+		t.Errorf("want all 12 rows after retry, got %d", len(rows))
 	}
 	if !strings.Contains(log.String(), "succeeded on attempt 2") {
 		t.Errorf("retry must be observable in the diagnostic log:\n%s", log.String())

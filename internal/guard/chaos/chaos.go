@@ -1,0 +1,455 @@
+// Package chaos is the soak harness for the guardrail subsystem: it
+// composes the fault-injection machinery (package fault), adversarial
+// synthetic workloads (phase storms, load spikes, all-miss memory
+// phases) and deliberate runtime-state corruption, and drives the full
+// CASH stack through them across many seeds, asserting the invariants
+// the guardrails exist to protect:
+//
+//   - no panics anywhere in the stack,
+//   - no NaN/Inf in runtime state after any control quantum,
+//   - QoS-violation streaks bounded by the circuit-breaker threshold
+//     while optimization is active,
+//   - byte-identical replay: the same seed produces the same samples,
+//     the same trips and the same digest every time.
+//
+// With guardrails disabled the same scenarios are expected to violate
+// at least the state invariant — the harness records rather than hides
+// this, because the delta between the two modes is the evidence that
+// the guardrails do real work.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"cash/internal/cashrt"
+	"cash/internal/cost"
+	"cash/internal/experiment"
+	"cash/internal/fault"
+	"cash/internal/guard"
+	"cash/internal/ssim"
+	"cash/internal/workload"
+)
+
+// Options configure a soak. Zero values select the defaults noted.
+type Options struct {
+	// Seeds is how many seeds each scenario runs under (default 20).
+	Seeds int
+	// Quanta bounds each run's length in control quanta (default 120).
+	Quanta int
+	// Guardrails toggles the guard subsystem in the runtime under test
+	// (the soak's acceptance mode is on; off is the hazard baseline).
+	Guardrails bool
+	// Target is the QoS floor the runtime chases (default 0.22 — low
+	// enough that the largest configuration meets it outside the
+	// deliberately impossible phases).
+	Target float64
+	// Tau is the control quantum in cycles (default 100_000).
+	Tau int64
+	// Scenarios restricts the soak to the named scenarios (nil = all).
+	Scenarios []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds == 0 {
+		o.Seeds = 20
+	}
+	if o.Quanta == 0 {
+		o.Quanta = 120
+	}
+	if o.Target == 0 {
+		o.Target = 0.22
+	}
+	if o.Tau == 0 {
+		o.Tau = 100_000
+	}
+	return o
+}
+
+// SeedResult is one (scenario, seed) run's outcome.
+type SeedResult struct {
+	Scenario string
+	Seed     uint64
+	Quanta   int
+	// Digest fingerprints the run's full sample stream and guard stats;
+	// two runs of the same seed must agree bit for bit.
+	Digest uint64
+	// ReplayIdentical records whether the immediate re-run of this seed
+	// reproduced Digest exactly.
+	ReplayIdentical bool
+	// Violations lists every invariant violated during the run (empty
+	// on a clean run). With guardrails on, any entry fails the soak.
+	Violations []string
+	// Guard is the runtime's guardrail trip counters for the run.
+	Guard guard.Stats
+	// QoSViolations and MaxSampleStreak summarize delivered QoS at the
+	// sample level (informational; pinned-safe-config quanta during
+	// impossible phases still count here).
+	QoSViolations   int
+	MaxSampleStreak int
+	Panicked        bool
+}
+
+// Report is a completed soak.
+type Report struct {
+	Guardrails bool
+	Scenarios  []string
+	Results    []SeedResult
+	// Failures counts runs with at least one invariant violation (or a
+	// panic, or a replay divergence).
+	Failures int
+}
+
+// Passed reports whether the soak met its acceptance criteria: every
+// run clean and every replay identical. Only meaningful with
+// guardrails on; the guard-off baseline is expected to fail.
+func (r Report) Passed() bool { return r.Failures == 0 }
+
+// Summary renders a one-line-per-scenario digest of the soak.
+func (r Report) Summary() string {
+	type agg struct {
+		runs, fails int
+		trips       int64
+	}
+	byScen := map[string]*agg{}
+	for _, res := range r.Results {
+		a := byScen[res.Scenario]
+		if a == nil {
+			a = &agg{}
+			byScen[res.Scenario] = a
+		}
+		a.runs++
+		a.trips += res.Guard.Trips()
+		if len(res.Violations) > 0 || !res.ReplayIdentical {
+			a.fails++
+		}
+	}
+	names := make([]string, 0, len(byScen))
+	for n := range byScen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("chaos soak: guardrails=%v, %d runs, %d failures\n", r.Guardrails, len(r.Results), r.Failures)
+	for _, n := range names {
+		a := byScen[n]
+		out += fmt.Sprintf("  %-14s %3d seeds, %3d failures, %5d guard trips\n", n, a.runs, a.fails, a.trips)
+	}
+	return out
+}
+
+// scenario couples an adversarial workload with a fault schedule and an
+// optional state-corruption plan.
+type scenario struct {
+	name string
+	app  func(seed uint64) workload.App
+	// faultRate is strikes per million cycles on the hosting fabric.
+	faultRate float64
+	// corrupt, when true, injects adversarial values directly into the
+	// runtime's mutable state at deterministic quanta — modelling soft
+	// errors in the Slice the runtime itself executes on.
+	corrupt bool
+}
+
+// Scenarios returns the names of all built-in scenarios.
+func Scenarios() []string {
+	out := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		out[i] = s.name
+	}
+	return out
+}
+
+var scenarios = []scenario{
+	{name: "phase-storm", app: phaseStormApp, faultRate: 0.4},
+	{name: "load-spike", app: loadSpikeApp, faultRate: 0.2},
+	{name: "all-miss", app: allMissApp, faultRate: 0.2},
+	{name: "corruption", app: steadyApp, faultRate: 0.4, corrupt: true},
+}
+
+// phaseStormApp alternates violently between a serial cache-thrashing
+// phase and a parallel cache-friendly one every few quanta's worth of
+// instructions — the fastest phase churn the generator can express,
+// designed to keep the Kalman innovation large and the optimizer's
+// table perpetually stale.
+func phaseStormApp(seed uint64) workload.App {
+	r := rng(seed)
+	var phases []workload.Phase
+	for i := 0; i < 24; i++ {
+		len64 := int64(150_000 + r()%200_000)
+		if i%2 == 0 {
+			phases = append(phases, workload.Phase{
+				Name: fmt.Sprintf("serial%d", i), Instrs: len64,
+				Mix:         workload.InstrMix{ALU: 0.3, Load: 0.4, Store: 0.1, Branch: 0.2},
+				MeanDepDist: 1.5, DepFrac: 0.95, SecondSrcFrac: 0.5,
+				WorkingSetKB: 6144, HotSetKB: 16, HotFrac: 0.05,
+				StreamFrac: 0, Stride: 64, MispredictRate: 0.08,
+			})
+		} else {
+			phases = append(phases, workload.Phase{
+				Name: fmt.Sprintf("parallel%d", i), Instrs: len64,
+				Mix:         workload.InstrMix{ALU: 0.6, Mul: 0.1, Load: 0.15, Store: 0.05, Branch: 0.1},
+				MeanDepDist: 12, DepFrac: 0.6, SecondSrcFrac: 0.3,
+				WorkingSetKB: 64, HotSetKB: 32, HotFrac: 0.9,
+				StreamFrac: 0.5, Stride: 64, MispredictRate: 0.01,
+			})
+		}
+	}
+	return workload.App{Name: "chaos-phase-storm", Phases: phases}
+}
+
+// loadSpikeApp interleaves long easy phases with short brutal spikes:
+// near-zero ILP, maximal mispredictions, working set far beyond any L2.
+// The spikes are QoS-impossible by construction; the breaker must pin,
+// then recover when the easy phase returns.
+func loadSpikeApp(seed uint64) workload.App {
+	r := rng(seed)
+	var phases []workload.Phase
+	for i := 0; i < 8; i++ {
+		phases = append(phases, workload.Phase{
+			Name: fmt.Sprintf("easy%d", i), Instrs: int64(900_000 + r()%400_000),
+			Mix:         workload.InstrMix{ALU: 0.55, Mul: 0.05, Load: 0.2, Store: 0.08, Branch: 0.12},
+			MeanDepDist: 8, DepFrac: 0.7, SecondSrcFrac: 0.4,
+			WorkingSetKB: 128, HotSetKB: 64, HotFrac: 0.85,
+			StreamFrac: 0.3, Stride: 64, MispredictRate: 0.01,
+		})
+		phases = append(phases, workload.Phase{
+			Name: fmt.Sprintf("spike%d", i), Instrs: int64(200_000 + r()%150_000),
+			Mix:         workload.InstrMix{ALU: 0.2, Div: 0.1, Load: 0.45, Store: 0.1, Branch: 0.15},
+			MeanDepDist: 1, DepFrac: 1, SecondSrcFrac: 1,
+			WorkingSetKB: 16384, HotSetKB: 4, HotFrac: 0,
+			StreamFrac: 0, Stride: 8192, MispredictRate: 0.5,
+		})
+	}
+	return workload.App{Name: "chaos-load-spike", Phases: phases}
+}
+
+// allMissApp is one long memory phase whose working set (16MB) exceeds
+// the largest configurable L2 (8MB) with no hot set to hide in: every
+// data access walks to memory. No configuration helps much, so the
+// runtime sits under target for the whole run — the breaker's
+// steady-state regime.
+func allMissApp(seed uint64) workload.App {
+	r := rng(seed)
+	return workload.App{Name: "chaos-all-miss", Phases: []workload.Phase{{
+		Name: "all-miss", Instrs: int64(6_000_000 + r()%2_000_000),
+		Mix:         workload.InstrMix{ALU: 0.3, Load: 0.4, Store: 0.12, Branch: 0.18},
+		MeanDepDist: 3, DepFrac: 0.85, SecondSrcFrac: 0.5,
+		WorkingSetKB: 16384, HotSetKB: 4, HotFrac: 0,
+		StreamFrac: 0, Stride: 4096, MispredictRate: 0.1,
+	}}}
+}
+
+// steadyApp is a well-behaved workload; the corruption scenario uses it
+// so that every anomaly is attributable to the injected state damage.
+func steadyApp(seed uint64) workload.App {
+	r := rng(seed)
+	return workload.App{Name: "chaos-steady", Phases: []workload.Phase{{
+		Name: "steady", Instrs: int64(5_000_000 + r()%2_000_000),
+		Mix:         workload.InstrMix{ALU: 0.5, Mul: 0.05, Load: 0.22, Store: 0.09, Branch: 0.14},
+		MeanDepDist: 6, DepFrac: 0.75, SecondSrcFrac: 0.4,
+		WorkingSetKB: 256, HotSetKB: 64, HotFrac: 0.8,
+		StreamFrac: 0.3, Stride: 64, MispredictRate: 0.02,
+	}}}
+}
+
+// rng returns a splitmix64-style generator; the harness derives all of
+// its per-seed variation from it, never from a wall clock.
+func rng(seed uint64) func() uint64 {
+	s := seed
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// Run executes the soak and returns the per-seed report. Each
+// (scenario, seed) pair runs twice and the two digests are compared:
+// any divergence is reported as a replay violation.
+func Run(opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	if opts.Seeds < 0 || opts.Quanta < 0 {
+		return Report{}, fmt.Errorf("chaos: seeds (%d) and quanta (%d) must be non-negative", opts.Seeds, opts.Quanta)
+	}
+	selected := scenarios
+	if len(opts.Scenarios) > 0 {
+		selected = nil
+		for _, want := range opts.Scenarios {
+			found := false
+			for _, s := range scenarios {
+				if s.name == want {
+					selected = append(selected, s)
+					found = true
+				}
+			}
+			if !found {
+				return Report{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", want, Scenarios())
+			}
+		}
+	}
+	rep := Report{Guardrails: opts.Guardrails}
+	for _, s := range selected {
+		rep.Scenarios = append(rep.Scenarios, s.name)
+		for i := 0; i < opts.Seeds; i++ {
+			seed := uint64(i)*0x9e3779b97f4a7c15 + 1
+			first := runSeed(s, seed, opts)
+			second := runSeed(s, seed, opts)
+			first.ReplayIdentical = first.Digest == second.Digest &&
+				first.Panicked == second.Panicked
+			if !first.ReplayIdentical {
+				first.Violations = append(first.Violations,
+					fmt.Sprintf("replay diverged: digest %016x vs %016x", first.Digest, second.Digest))
+			}
+			if len(first.Violations) > 0 {
+				rep.Failures++
+			}
+			rep.Results = append(rep.Results, first)
+		}
+	}
+	return rep, nil
+}
+
+// runSeed executes one (scenario, seed) run under a panic barrier.
+func runSeed(s scenario, seed uint64, opts Options) (res SeedResult) {
+	res = SeedResult{Scenario: s.name, Seed: seed, ReplayIdentical: true}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Panicked = true
+			res.Violations = append(res.Violations, fmt.Sprintf("panic: %v", p))
+		}
+	}()
+
+	rt, err := cashrt.New(opts.Target, cost.Default(), cashrt.Options{
+		Seed:       seed,
+		Guardrails: opts.Guardrails,
+	})
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("constructing runtime: %v", err))
+		return res
+	}
+
+	sch, err := fault.Generate(fault.Spec{
+		Rate:    s.faultRate,
+		Horizon: int64(opts.Quanta+1) * opts.Tau,
+		Width:   16, Height: 16,
+		Seed: seed ^ 0xc6a4a7935bd1e995,
+	})
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("generating faults: %v", err))
+		return res
+	}
+
+	// Corruption plan: three deterministic strikes spread over the run,
+	// hitting the filter, the controller and the learned table in turn.
+	corruptAt := map[int]int{}
+	if s.corrupt {
+		r := rng(seed ^ 0xff51afd7ed558ccd)
+		for k := 0; k < 3; k++ {
+			q := 10 + int(r()%uint64(maxInt(opts.Quanta-20, 1)))
+			corruptAt[q] = k
+		}
+	}
+
+	var invariantErrs []string
+	hook := func(sim *ssim.Sim, quantum int) error {
+		if kind, ok := corruptAt[quantum]; ok {
+			switch kind {
+			case 0:
+				rt.Estimator().Inject(math.NaN(), math.Inf(1))
+			case 1:
+				rt.Controller().Inject(math.NaN())
+			case 2:
+				rt.Optimizer().PokeQ(rt.Optimizer().Largest(), math.NaN())
+			}
+			// The damage lands between quanta; the next Decide is the
+			// guard's chance to repair it before it propagates.
+			return nil
+		}
+		if err := sim.CheckInvariants(); err != nil {
+			invariantErrs = append(invariantErrs, fmt.Sprintf("quantum %d: %v", quantum, err))
+		}
+		if err := rt.StateCheck(); err != nil {
+			invariantErrs = append(invariantErrs, fmt.Sprintf("quantum %d: %v", quantum, err))
+		}
+		// Record, don't abort: the soak wants the full run's evidence.
+		return nil
+	}
+
+	result, err := experiment.Run(s.app(seed), rt, experiment.Opts{
+		Target:    opts.Target,
+		Tau:       opts.Tau,
+		MaxQuanta: opts.Quanta,
+		Seed:      seed | 1,
+		Faults:    &sch,
+		EpochHook: hook,
+	})
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("run failed: %v", err))
+		return res
+	}
+
+	res.Quanta = len(result.Samples)
+	res.Guard = result.Guard
+	streak := 0
+	for _, sm := range result.Samples {
+		if sm.Violated {
+			res.QoSViolations++
+			streak++
+			if streak > res.MaxSampleStreak {
+				res.MaxSampleStreak = streak
+			}
+		} else {
+			streak = 0
+		}
+	}
+
+	// Cap the recorded state violations (a guard-off corruption run
+	// fails every remaining quantum; one line per quantum adds nothing).
+	if len(invariantErrs) > 3 {
+		invariantErrs = append(invariantErrs[:3],
+			fmt.Sprintf("... and %d more", len(invariantErrs)-3))
+	}
+	res.Violations = append(res.Violations, invariantErrs...)
+
+	// Bounded-streak invariant: while optimization is active the
+	// breaker trips at K consecutive violating epochs, so the recorded
+	// maximum streak must never exceed the configured threshold.
+	if opts.Guardrails {
+		if limit := int64(guard.New(guard.Config{}).Config().BreakerK); result.Guard.MaxViolationStreak > limit {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"unpinned QoS-violation streak %d exceeds breaker threshold %d",
+				result.Guard.MaxViolationStreak, limit))
+		}
+	}
+
+	res.Digest = digest(result)
+	return res
+}
+
+// digest folds the run's observable outcome — every sample and every
+// guard counter — into an FNV-1a fingerprint. Byte-identical replay is
+// asserted by comparing two runs' digests.
+func digest(r experiment.Result) uint64 {
+	h := fnv.New64a()
+	w := func(s string) { _, _ = h.Write([]byte(s)) }
+	for _, sm := range r.Samples {
+		w(fmt.Sprintf("%d|%s|%x|%x|%v|%d|%d\n",
+			sm.Cycle, sm.Config,
+			math.Float64bits(sm.QoS), math.Float64bits(sm.CostRate),
+			sm.Violated, sm.Phase, sm.Stall))
+	}
+	w(fmt.Sprintf("%+v|%+v|%d|%d|%x\n", r.Guard, r.FaultStats, r.TotalCycles, r.TotalInstrs,
+		math.Float64bits(r.TotalCost)))
+	return h.Sum64()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

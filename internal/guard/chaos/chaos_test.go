@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakGuardrailsOn is the acceptance criterion in miniature (the
+// full 20-seed soak runs via cashsim -chaos and in TestSoakFull below):
+// every scenario, a handful of seeds, zero invariant violations,
+// byte-identical replay.
+func TestSoakGuardrailsOn(t *testing.T) {
+	rep, err := Run(Options{Seeds: 3, Quanta: 60, Guardrails: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3*len(Scenarios()) {
+		t.Fatalf("ran %d seed-runs, want %d", len(rep.Results), 3*len(Scenarios()))
+	}
+	for _, r := range rep.Results {
+		if r.Panicked {
+			t.Errorf("%s seed %d panicked", r.Scenario, r.Seed)
+		}
+		if !r.ReplayIdentical {
+			t.Errorf("%s seed %d replay diverged", r.Scenario, r.Seed)
+		}
+		if len(r.Violations) > 0 {
+			t.Errorf("%s seed %d violated invariants: %v", r.Scenario, r.Seed, r.Violations)
+		}
+	}
+	if !rep.Passed() {
+		t.Fatalf("soak failed:\n%s", rep.Summary())
+	}
+}
+
+// TestSoakGuardrailsOffDemonstratesHazard: with the guardrails off, the
+// corruption scenario must demonstrably violate the no-NaN invariant —
+// if it stops doing so, the soak is no longer testing anything.
+func TestSoakGuardrailsOffDemonstratesHazard(t *testing.T) {
+	rep, err := Run(Options{Seeds: 3, Quanta: 60, Guardrails: false, Scenarios: []string{"corruption"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := 0
+	for _, r := range rep.Results {
+		if r.Panicked {
+			t.Errorf("seed %d panicked (the stack must degrade, not die, even unguarded)", r.Seed)
+		}
+		if len(r.Violations) > 0 {
+			violated++
+		}
+	}
+	if violated == 0 {
+		t.Fatal("guard-off corruption runs violated nothing — the guardrails have no demonstrable effect")
+	}
+}
+
+// TestGuardTripsRecorded: the adversarial scenarios must actually
+// exercise the guardrails; a soak whose guards never fire proves
+// nothing.
+func TestGuardTripsRecorded(t *testing.T) {
+	rep, err := Run(Options{Seeds: 2, Quanta: 60, Guardrails: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trips int64
+	for _, r := range rep.Results {
+		trips += r.Guard.Trips()
+	}
+	if trips == 0 {
+		t.Fatal("no guardrail tripped across any scenario")
+	}
+}
+
+func TestUnknownScenarioRejected(t *testing.T) {
+	if _, err := Run(Options{Scenarios: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scenario must be rejected")
+	}
+}
+
+func TestSummaryMentionsEveryScenario(t *testing.T) {
+	rep, err := Run(Options{Seeds: 1, Quanta: 30, Guardrails: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	for _, name := range Scenarios() {
+		if !strings.Contains(s, name) {
+			t.Errorf("summary omits scenario %q:\n%s", name, s)
+		}
+	}
+}

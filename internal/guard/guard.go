@@ -1,0 +1,392 @@
+// Package guard is the runtime guardrail subsystem: a set of per-
+// component watchdogs and circuit breakers that watch the CASH control
+// loop every epoch and contain the failure modes a stack of learned
+// estimators is exposed to in production. The paper assumes the Kalman
+// filter, the deadbeat controller and the Q-table behave; at fleet
+// scale a diverging filter or a corrupted table silently burns money or
+// blows the QoS target, so each component gets an explicit safety net
+// with hysteresis:
+//
+//   - Kalman watchdog — detects NaN/Inf filter state, covariance
+//     blow-up, and sustained innovation divergence, and resets the
+//     filter to a freshly-initialized prior (it re-seeds from the next
+//     observation, exactly as at start-up).
+//   - Controller sanity clamp — detects a corrupted (non-finite)
+//     integrator and resets it, and detects deadbeat oscillation —
+//     configuration thrash above a windowed reconfiguration-rate
+//     threshold — and rate-limits resizes until the thrash subsides.
+//   - Q-table validator — quarantines NaN/Inf or wildly out-of-range
+//     learned entries (they revert to the unvisited prior) and falls
+//     back to ε-free greedy over the validated entries for a cooldown,
+//     so exploration does not immediately steer back into the entries
+//     whose state was just discarded.
+//   - QoS circuit breaker — after K consecutive QoS-violating epochs
+//     the runtime abandons optimization and pins a safe statically-
+//     provisioned configuration; optimization re-opens only after a
+//     cooldown of met-QoS epochs (classic breaker hysteresis, the
+//     fallback discipline Qiu et al. argue ML-driven controllers need).
+//
+// Everything is deterministic — pure functions of the observation
+// stream, no wall clock, no randomness — so guarded runs replay
+// byte-identically, which is what the chaos soak harness asserts.
+package guard
+
+import (
+	"math"
+
+	"cash/internal/alloc"
+	"cash/internal/control"
+	"cash/internal/qlearn"
+	"cash/internal/vcore"
+)
+
+// Config tunes the guardrails. The zero value selects the defaults
+// noted on each field; every threshold is in control epochs (quanta).
+type Config struct {
+	// MaxErrVar trips the Kalman watchdog when the error variance
+	// exceeds it (default 1e3 — orders of magnitude beyond anything a
+	// healthy filter reaches with the paper's variances).
+	MaxErrVar float64
+	// MaxEstimate trips the watchdog when the base-speed estimate
+	// exceeds it (default 1e4; base speed is IPC-like, single digits).
+	MaxEstimate float64
+	// DivergenceRatio is the relative innovation |q − s·b̂|/(s·b̂) above
+	// which an epoch counts as divergent (default 0.75).
+	DivergenceRatio float64
+	// DivergenceEpochs is how many consecutive divergent epochs trip a
+	// filter reset (default 6 — a phase change produces one or two large
+	// innovations before the gain catches up; six in a row means the
+	// filter is chronically wrong).
+	DivergenceEpochs int
+
+	// MaxQ is the Q-table validator's absolute plausibility cap on
+	// learned QoS estimates (default 1e4; delivered IPC is bounded by
+	// fetch width × Slices, double digits).
+	MaxQ float64
+	// QuarantineCooldown is how many epochs exploration stays disabled
+	// after a quarantine (default 16).
+	QuarantineCooldown int
+
+	// ThrashWindow and ThrashLimit define deadbeat-oscillation
+	// detection: more than ThrashLimit planned-configuration changes in
+	// the last ThrashWindow epochs trips the rate limiter (defaults 16
+	// and 10; the healthy runtime settles to an over/under pair and
+	// changes its plan a few times per window).
+	ThrashWindow int
+	ThrashLimit  int
+	// RateLimitEpochs is how long the limiter stays engaged once
+	// tripped (default 16); while engaged, MinHoldEpochs is the minimum
+	// dwell between planned resizes (default 4).
+	RateLimitEpochs int
+	MinHoldEpochs   int
+
+	// BreakerK is the consecutive QoS-violating epochs that open the
+	// QoS breaker (default 8).
+	BreakerK int
+	// BreakerCooldown is the consecutive met-QoS epochs, while pinned,
+	// required to close it again (default 4).
+	BreakerCooldown int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxErrVar == 0 {
+		c.MaxErrVar = 1e3
+	}
+	if c.MaxEstimate == 0 {
+		c.MaxEstimate = 1e4
+	}
+	if c.DivergenceRatio == 0 {
+		c.DivergenceRatio = 0.75
+	}
+	if c.DivergenceEpochs == 0 {
+		c.DivergenceEpochs = 6
+	}
+	if c.MaxQ == 0 {
+		c.MaxQ = 1e4
+	}
+	if c.QuarantineCooldown == 0 {
+		c.QuarantineCooldown = 16
+	}
+	if c.ThrashWindow == 0 {
+		c.ThrashWindow = 16
+	}
+	if c.ThrashLimit == 0 {
+		c.ThrashLimit = 10
+	}
+	if c.RateLimitEpochs == 0 {
+		c.RateLimitEpochs = 16
+	}
+	if c.MinHoldEpochs == 0 {
+		c.MinHoldEpochs = 4
+	}
+	if c.BreakerK == 0 {
+		c.BreakerK = 8
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 4
+	}
+	return c
+}
+
+// Stats counts guardrail trips and recoveries over a run. It is plain
+// data (JSON-marshalable) so experiment results can carry it into the
+// figs reports and the reliability artifact.
+type Stats struct {
+	// Kalman watchdog.
+	KalmanNaNResets  int64 // non-finite state detected
+	KalmanCovResets  int64 // covariance blow-up
+	KalmanDivResets  int64 // sustained innovation divergence
+	ControllerResets int64 // non-finite integrator state
+
+	// Q-table validator.
+	QTableQuarantined int64 // entries quarantined (cumulative)
+	QTableScrubs      int64 // epochs on which at least one entry was quarantined
+
+	// Thrash limiter.
+	ThrashTrips       int64 // times the rate limiter engaged
+	RateLimitedPlans  int64 // plans rewritten to hold the current config
+	ReconfigsObserved int64 // planned configuration changes seen
+
+	// QoS breaker.
+	BreakerTrips      int64 // optimization abandoned, safe config pinned
+	BreakerRecoveries int64 // optimization re-entered after cooldown
+	PinnedEpochs      int64 // epochs spent pinned
+	// MaxViolationStreak is the longest run of consecutive QoS-violating
+	// epochs observed while optimization was active (the breaker trips
+	// at BreakerK, so with guardrails on this never exceeds it).
+	MaxViolationStreak int64
+
+	// Epochs is how many control epochs the guard has watched.
+	Epochs int64
+}
+
+// Trips is the total number of guardrail activations of any kind — the
+// one-number summary the reliability table prints.
+func (s Stats) Trips() int64 {
+	return s.KalmanNaNResets + s.KalmanCovResets + s.KalmanDivResets +
+		s.ControllerResets + s.QTableScrubs + s.ThrashTrips + s.BreakerTrips
+}
+
+// Guard watches one runtime's control loop. It is created by the
+// runtime when guardrails are enabled and called at fixed points of
+// every Decide epoch; it owns no goroutines and keeps no references to
+// anything but plain state, so it is exactly as deterministic as the
+// control loop it protects.
+type Guard struct {
+	cfg   Config
+	stats Stats
+
+	// Kalman watchdog state.
+	divStreak int
+
+	// Q-table cooldown state.
+	savedEps    float64
+	epsCooldown int
+
+	// Thrash limiter state.
+	lastCfg     vcore.Config
+	haveLastCfg bool
+	changes     []bool // ring of "plan changed config" over ThrashWindow
+	changePos   int
+	changeCount int
+	limitLeft   int
+	holdLeft    int
+
+	// Breaker state.
+	violStreak int64
+	pinned     bool
+	metStreak  int
+}
+
+// New builds a guard with the given thresholds (zero fields select
+// defaults).
+func New(cfg Config) *Guard {
+	c := cfg.withDefaults()
+	return &Guard{cfg: c, changes: make([]bool, c.ThrashWindow)}
+}
+
+// Stats returns a snapshot of the trip counters.
+func (g *Guard) Stats() Stats { return g.stats }
+
+// Config returns the effective (defaulted) thresholds.
+func (g *Guard) Config() Config { return g.cfg }
+
+// Pinned reports whether the QoS breaker currently pins the safe
+// configuration.
+func (g *Guard) Pinned() bool { return g.pinned }
+
+// BeginEpoch advances the epoch counter. Call once per Decide.
+func (g *Guard) BeginEpoch() { g.stats.Epochs++ }
+
+// CheckKalman runs the estimator watchdog. prior is the estimate before
+// this epoch's update, applied the speedup the measurement was taken
+// under, measured the delivered QoS; haveSample is false on idle epochs
+// (no measurement, nothing to judge). On a trip the filter is reset to
+// a freshly-initialized prior and the divergence streak cleared. It
+// returns whether a reset fired.
+func (g *Guard) CheckKalman(est *control.Estimator, prior, applied, measured float64, haveSample bool) bool {
+	e, v := est.Estimate(), est.ErrVar()
+	switch {
+	case math.IsNaN(e) || math.IsInf(e, 0) || math.IsNaN(v) || math.IsInf(v, 0) || e < 0 || v < 0:
+		g.stats.KalmanNaNResets++
+	case v > g.cfg.MaxErrVar || e > g.cfg.MaxEstimate:
+		g.stats.KalmanCovResets++
+	default:
+		if !haveSample || !(prior > 0) || !(applied > 0) ||
+			math.IsNaN(measured) || math.IsInf(measured, 0) {
+			return false
+		}
+		expected := applied * prior
+		if !(expected > 0) || math.IsInf(expected, 0) {
+			return false
+		}
+		if math.Abs(measured-expected)/expected > g.cfg.DivergenceRatio {
+			g.divStreak++
+		} else {
+			g.divStreak = 0
+		}
+		if g.divStreak < g.cfg.DivergenceEpochs {
+			return false
+		}
+		g.stats.KalmanDivResets++
+	}
+	est.Reset()
+	g.divStreak = 0
+	return true
+}
+
+// CheckController resets a corrupted (non-finite or negative) deadbeat
+// integrator. The next epoch re-bootstraps the speedup from the target,
+// exactly as at start-up.
+func (g *Guard) CheckController(ctrl *control.Controller) bool {
+	s := ctrl.Speedup()
+	if !math.IsNaN(s) && !math.IsInf(s, 0) && s >= 0 {
+		return false
+	}
+	ctrl.Reset()
+	g.stats.ControllerResets++
+	return true
+}
+
+// CheckQTable validates the learned table, quarantining NaN/Inf or
+// out-of-range entries. On a quarantine, exploration is suspended
+// (ε-free greedy over the validated entries) for QuarantineCooldown
+// epochs. Call every epoch before the table is used for scheduling; the
+// cooldown is also ticked here.
+func (g *Guard) CheckQTable(opt *qlearn.Optimizer) int {
+	n := opt.QuarantineInvalid(g.cfg.MaxQ)
+	if n > 0 {
+		g.stats.QTableQuarantined += int64(n)
+		g.stats.QTableScrubs++
+		if g.epsCooldown == 0 {
+			g.savedEps = opt.SetEpsilon(0)
+		}
+		g.epsCooldown = g.cfg.QuarantineCooldown
+		return n
+	}
+	if g.epsCooldown > 0 {
+		g.epsCooldown--
+		if g.epsCooldown == 0 {
+			opt.SetEpsilon(g.savedEps)
+		}
+	}
+	return 0
+}
+
+// BreakerTick feeds the QoS breaker one epoch's delivered QoS against
+// the raw target and returns whether the runtime must pin the safe
+// configuration this epoch. Epochs without a sample (pure idle) carry
+// no QoS verdict and leave the breaker state unchanged.
+func (g *Guard) BreakerTick(measured, target float64, haveSample bool) bool {
+	if haveSample && target > 0 {
+		violated := !(measured >= target) // NaN counts as violating
+		if g.pinned {
+			if violated {
+				g.metStreak = 0
+			} else {
+				g.metStreak++
+				if g.metStreak >= g.cfg.BreakerCooldown {
+					g.pinned = false
+					g.metStreak = 0
+					g.violStreak = 0
+					g.stats.BreakerRecoveries++
+				}
+			}
+		} else {
+			if violated {
+				g.violStreak++
+				if g.violStreak > g.stats.MaxViolationStreak {
+					g.stats.MaxViolationStreak = g.violStreak
+				}
+				if g.violStreak >= int64(g.cfg.BreakerK) {
+					g.pinned = true
+					g.metStreak = 0
+					g.stats.BreakerTrips++
+				}
+			} else {
+				g.violStreak = 0
+			}
+		}
+	}
+	if g.pinned {
+		g.stats.PinnedEpochs++
+	}
+	return g.pinned
+}
+
+// LimitPlan runs thrash detection over the planned configuration stream
+// and, while the rate limiter is engaged, rewrites plans that would
+// resize before the minimum dwell has elapsed into "hold the current
+// configuration". planned is the plan's leading configuration.
+func (g *Guard) LimitPlan(plan alloc.Plan, planned vcore.Config) alloc.Plan {
+	changed := g.haveLastCfg && planned != g.lastCfg
+
+	// Slide the window.
+	if g.changes[g.changePos] {
+		g.changeCount--
+	}
+	g.changes[g.changePos] = changed
+	if changed {
+		g.changeCount++
+		g.stats.ReconfigsObserved++
+	}
+	g.changePos = (g.changePos + 1) % len(g.changes)
+
+	if g.limitLeft == 0 && g.changeCount > g.cfg.ThrashLimit {
+		// The change that pushed the window over the limit is itself the
+		// thrash; start the hold immediately so it is suppressed too.
+		g.stats.ThrashTrips++
+		g.limitLeft = g.cfg.RateLimitEpochs
+		g.holdLeft = g.cfg.MinHoldEpochs
+	}
+
+	if g.limitLeft > 0 {
+		g.limitLeft--
+		if changed {
+			if g.holdLeft > 0 {
+				// Too soon after the last resize: hold the previous
+				// configuration for the whole quantum instead.
+				g.stats.RateLimitedPlans++
+				hold := g.lastCfg
+				var tau int64
+				for _, s := range plan.Steps {
+					tau += s.MaxCycles
+				}
+				// Undo this epoch's window entry: the rewritten plan
+				// does not change configuration.
+				g.changes[(g.changePos+len(g.changes)-1)%len(g.changes)] = false
+				g.changeCount--
+				g.stats.ReconfigsObserved--
+				g.holdLeft--
+				return alloc.Plan{Steps: []alloc.Step{{Config: hold, MaxCycles: tau}}}
+			}
+			g.holdLeft = g.cfg.MinHoldEpochs - 1
+		} else if g.holdLeft > 0 {
+			g.holdLeft--
+		}
+	}
+
+	g.lastCfg = planned
+	g.haveLastCfg = true
+	return plan
+}

@@ -1,0 +1,314 @@
+package guard
+
+import (
+	"math"
+	"testing"
+
+	"cash/internal/alloc"
+	"cash/internal/control"
+	"cash/internal/cost"
+	"cash/internal/qlearn"
+	"cash/internal/vcore"
+)
+
+func newGuard(t *testing.T, cfg Config) *Guard {
+	t.Helper()
+	return New(cfg)
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	g := New(Config{})
+	c := g.Config()
+	if c.BreakerK == 0 || c.ThrashWindow == 0 || c.MaxErrVar == 0 ||
+		c.DivergenceEpochs == 0 || c.QuarantineCooldown == 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+func TestKalmanWatchdogNaN(t *testing.T) {
+	g := newGuard(t, Config{})
+	e, _ := control.NewEstimator(0.02, 0.01)
+	e.Update(2, 0.8)
+	e.Inject(math.NaN(), 0.01)
+	if !g.CheckKalman(e, 0.4, 2, 0.8, true) {
+		t.Fatal("NaN estimate must trip the watchdog")
+	}
+	if e.Started() {
+		t.Fatal("reset filter must be back to the fresh prior")
+	}
+	if s := g.Stats(); s.KalmanNaNResets != 1 {
+		t.Fatalf("KalmanNaNResets = %d, want 1", s.KalmanNaNResets)
+	}
+	// After reset the filter re-seeds from the next observation.
+	e.Update(2, 0.8)
+	if got := e.Estimate(); got != 0.4 {
+		t.Fatalf("re-seeded estimate = %v, want 0.4", got)
+	}
+}
+
+func TestKalmanWatchdogCovarianceBlowup(t *testing.T) {
+	g := newGuard(t, Config{MaxErrVar: 10})
+	e, _ := control.NewEstimator(0.02, 0.01)
+	e.Inject(0.5, 100)
+	if !g.CheckKalman(e, 0.5, 1, 0.5, true) {
+		t.Fatal("covariance blow-up must trip the watchdog")
+	}
+	if s := g.Stats(); s.KalmanCovResets != 1 {
+		t.Fatalf("KalmanCovResets = %d, want 1", s.KalmanCovResets)
+	}
+}
+
+func TestKalmanWatchdogDivergence(t *testing.T) {
+	g := newGuard(t, Config{DivergenceEpochs: 3, DivergenceRatio: 0.5})
+	e, _ := control.NewEstimator(0.02, 0.01)
+	e.Update(1, 0.5)
+	// Measured is 10× what the (healthy-looking) estimate predicts.
+	for i := 0; i < 2; i++ {
+		if g.CheckKalman(e, 0.5, 1, 5.0, true) {
+			t.Fatalf("tripped after %d divergent epochs, want 3", i+1)
+		}
+	}
+	if !g.CheckKalman(e, 0.5, 1, 5.0, true) {
+		t.Fatal("3rd consecutive divergent epoch must trip")
+	}
+	if s := g.Stats(); s.KalmanDivResets != 1 {
+		t.Fatalf("KalmanDivResets = %d, want 1", s.KalmanDivResets)
+	}
+}
+
+func TestKalmanWatchdogDivergenceStreakResets(t *testing.T) {
+	g := newGuard(t, Config{DivergenceEpochs: 3, DivergenceRatio: 0.5})
+	e, _ := control.NewEstimator(0.02, 0.01)
+	e.Update(1, 0.5)
+	g.CheckKalman(e, 0.5, 1, 5.0, true)
+	g.CheckKalman(e, 0.5, 1, 5.0, true)
+	// A convergent epoch clears the streak.
+	g.CheckKalman(e, 0.5, 1, 0.5, true)
+	if g.CheckKalman(e, 0.5, 1, 5.0, true) {
+		t.Fatal("streak must restart after a convergent epoch")
+	}
+	// Idle epochs (no sample) neither extend nor clear the streak.
+	g.CheckKalman(e, 0.5, 1, 5.0, true)
+	g.CheckKalman(e, 0.5, 2, 0, false)
+	if !g.CheckKalman(e, 0.5, 1, 5.0, true) {
+		t.Fatal("idle epoch must not clear the divergence streak")
+	}
+}
+
+func TestKalmanWatchdogHealthyQuiet(t *testing.T) {
+	g := newGuard(t, Config{})
+	e, _ := control.NewEstimator(0.02, 0.01)
+	for i := 0; i < 100; i++ {
+		e.Update(2, 0.8)
+		if g.CheckKalman(e, 0.4, 2, 0.8, true) {
+			t.Fatalf("watchdog tripped on healthy stream at epoch %d", i)
+		}
+	}
+	if s := g.Stats(); s.Trips() != 0 {
+		t.Fatalf("healthy stream produced %d trips", s.Trips())
+	}
+}
+
+func TestControllerSanity(t *testing.T) {
+	g := newGuard(t, Config{})
+	c, _ := control.NewController(0.5)
+	c.Update(0.4, 0.4)
+	if g.CheckController(c) {
+		t.Fatal("healthy controller must not trip")
+	}
+	c.Inject(math.Inf(1))
+	if !g.CheckController(c) {
+		t.Fatal("Inf integrator must trip")
+	}
+	if c.Speedup() != 0 {
+		t.Fatalf("reset integrator = %v, want 0", c.Speedup())
+	}
+	c.Inject(math.NaN())
+	if !g.CheckController(c) {
+		t.Fatal("NaN integrator must trip")
+	}
+	if s := g.Stats(); s.ControllerResets != 2 {
+		t.Fatalf("ControllerResets = %d, want 2", s.ControllerResets)
+	}
+}
+
+func newOptimizer(t *testing.T) *qlearn.Optimizer {
+	t.Helper()
+	o, err := qlearn.New(cost.Default(), qlearn.DefaultAlpha, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestQTableValidatorQuarantinesAndSuspendsExploration(t *testing.T) {
+	g := newGuard(t, Config{QuarantineCooldown: 3})
+	o := newOptimizer(t)
+	o.PokeQ(vcore.Min(), math.NaN())
+	if n := g.CheckQTable(o); n != 1 {
+		t.Fatalf("quarantined %d, want 1", n)
+	}
+	if o.Epsilon() != 0 {
+		t.Fatalf("exploration not suspended: ε=%v", o.Epsilon())
+	}
+	// Clean epochs tick the cooldown; ε is restored when it expires.
+	for i := 0; i < 2; i++ {
+		g.CheckQTable(o)
+		if o.Epsilon() != 0 {
+			t.Fatalf("ε restored too early at tick %d", i)
+		}
+	}
+	g.CheckQTable(o)
+	if o.Epsilon() != 0.25 {
+		t.Fatalf("ε not restored after cooldown: %v", o.Epsilon())
+	}
+	s := g.Stats()
+	if s.QTableQuarantined != 1 || s.QTableScrubs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestQTableValidatorReQuarantineExtendsCooldown(t *testing.T) {
+	g := newGuard(t, Config{QuarantineCooldown: 3})
+	o := newOptimizer(t)
+	o.PokeQ(vcore.Min(), math.NaN())
+	g.CheckQTable(o)
+	g.CheckQTable(o) // cooldown 2
+	o.PokeQ(vcore.Min(), math.Inf(1))
+	g.CheckQTable(o) // re-quarantine: cooldown back to 3, ε stays saved
+	for i := 0; i < 3; i++ {
+		g.CheckQTable(o)
+	}
+	if o.Epsilon() != 0.25 {
+		t.Fatalf("ε not restored to original after re-quarantine: %v", o.Epsilon())
+	}
+}
+
+func planFor(c vcore.Config) alloc.Plan {
+	return alloc.Plan{Steps: []alloc.Step{{Config: c, MaxCycles: 1000}}}
+}
+
+func TestThrashLimiter(t *testing.T) {
+	g := newGuard(t, Config{ThrashWindow: 8, ThrashLimit: 4, RateLimitEpochs: 8, MinHoldEpochs: 4})
+	a := vcore.Config{Slices: 1, L2KB: 64}
+	b := vcore.Config{Slices: 2, L2KB: 128}
+	// Alternate every epoch: 5th change within the window trips the limiter.
+	cfgs := []vcore.Config{a, b, a, b, a, b}
+	limited := 0
+	for _, c := range cfgs {
+		out := g.LimitPlan(planFor(c), c)
+		if out.Steps[0].Config != c {
+			limited++
+		}
+	}
+	s := g.Stats()
+	if s.ThrashTrips != 1 {
+		t.Fatalf("ThrashTrips = %d, want 1", s.ThrashTrips)
+	}
+	if s.RateLimitedPlans == 0 || limited == 0 {
+		t.Fatalf("rate limiter engaged but no plan was held (stats %+v, limited %d)", s, limited)
+	}
+}
+
+func TestThrashLimiterHoldPreservesQuantum(t *testing.T) {
+	g := newGuard(t, Config{ThrashWindow: 4, ThrashLimit: 1, RateLimitEpochs: 8, MinHoldEpochs: 4})
+	a := vcore.Config{Slices: 1, L2KB: 64}
+	b := vcore.Config{Slices: 2, L2KB: 128}
+	g.LimitPlan(planFor(a), a)
+	g.LimitPlan(planFor(b), b)
+	// 2nd change in a window of 4 exceeds limit 1: this epoch trips and
+	// its multi-step plan must be rewritten to hold the previous config
+	// for the full quantum.
+	in := alloc.Plan{Steps: []alloc.Step{
+		{Config: a, MaxCycles: 600}, {Config: b, MaxCycles: 400},
+	}}
+	out := g.LimitPlan(in, a)
+	if len(out.Steps) != 1 || out.Steps[0].Config != b {
+		t.Fatalf("held plan = %+v, want single step at %v", out, b)
+	}
+	if out.Steps[0].MaxCycles != 1000 {
+		t.Fatalf("held plan cycles = %d, want the full 1000-cycle quantum", out.Steps[0].MaxCycles)
+	}
+}
+
+func TestThrashLimiterQuietOnStableStream(t *testing.T) {
+	g := newGuard(t, Config{})
+	a := vcore.Config{Slices: 2, L2KB: 256}
+	b := vcore.Config{Slices: 2, L2KB: 512}
+	// A healthy over/under pair changes config rarely.
+	for i := 0; i < 100; i++ {
+		c := a
+		if i%16 == 0 {
+			c = b
+		}
+		out := g.LimitPlan(planFor(c), c)
+		if out.Steps[0].Config != c {
+			t.Fatalf("stable stream was rate-limited at epoch %d", i)
+		}
+	}
+	if s := g.Stats(); s.ThrashTrips != 0 {
+		t.Fatalf("ThrashTrips = %d on stable stream", s.ThrashTrips)
+	}
+}
+
+func TestBreakerTripAndRecovery(t *testing.T) {
+	g := newGuard(t, Config{BreakerK: 3, BreakerCooldown: 2})
+	// Two misses, one hit: streak clears.
+	g.BreakerTick(0.1, 0.5, true)
+	g.BreakerTick(0.1, 0.5, true)
+	if g.BreakerTick(0.6, 0.5, true) {
+		t.Fatal("breaker tripped before K consecutive misses")
+	}
+	// Three consecutive misses: trips.
+	g.BreakerTick(0.1, 0.5, true)
+	g.BreakerTick(0.1, 0.5, true)
+	if !g.BreakerTick(0.1, 0.5, true) {
+		t.Fatal("breaker must trip on Kth consecutive miss")
+	}
+	if !g.Pinned() {
+		t.Fatal("Pinned() false after trip")
+	}
+	// While pinned, a miss resets the recovery cooldown.
+	g.BreakerTick(0.6, 0.5, true)
+	g.BreakerTick(0.1, 0.5, true)
+	g.BreakerTick(0.6, 0.5, true)
+	if !g.BreakerTick(0.6, 0.5, true) == false {
+		// second consecutive met epoch: recovered, returns unpinned
+		t.Fatal("breaker must recover after cooldown of met epochs")
+	}
+	if g.Pinned() {
+		t.Fatal("still pinned after recovery")
+	}
+	s := g.Stats()
+	if s.BreakerTrips != 1 || s.BreakerRecoveries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxViolationStreak != 3 {
+		t.Fatalf("MaxViolationStreak = %d, want 3", s.MaxViolationStreak)
+	}
+}
+
+func TestBreakerNaNMeasurementCountsAsViolation(t *testing.T) {
+	g := newGuard(t, Config{BreakerK: 2, BreakerCooldown: 1})
+	g.BreakerTick(math.NaN(), 0.5, true)
+	if !g.BreakerTick(math.NaN(), 0.5, true) {
+		t.Fatal("NaN measurements must count as violations and trip the breaker")
+	}
+}
+
+func TestBreakerIdleEpochsAreNeutral(t *testing.T) {
+	g := newGuard(t, Config{BreakerK: 2, BreakerCooldown: 1})
+	g.BreakerTick(0.1, 0.5, true)
+	g.BreakerTick(0, 0.5, false) // idle: no verdict
+	if !g.BreakerTick(0.1, 0.5, true) {
+		t.Fatal("idle epoch must not clear the violation streak")
+	}
+}
+
+func TestStatsTripsAggregates(t *testing.T) {
+	s := Stats{KalmanNaNResets: 1, KalmanCovResets: 2, KalmanDivResets: 3,
+		ControllerResets: 4, QTableScrubs: 5, ThrashTrips: 6, BreakerTrips: 7}
+	if got := s.Trips(); got != 28 {
+		t.Fatalf("Trips() = %d, want 28", got)
+	}
+}

@@ -102,11 +102,14 @@ func New(model cost.Model, alpha, eps float64, seed uint64) (*Optimizer, error) 
 // of §VI-E models a big.LITTLE machine (only a big and a little core
 // type exist).
 func NewRestricted(model cost.Model, cfgs []vcore.Config, alpha, eps float64, seed uint64) (*Optimizer, error) {
-	if alpha <= 0 || alpha > 1 {
+	if !(alpha > 0) || !(alpha <= 1) {
 		return nil, fmt.Errorf("qlearn: alpha %v outside (0,1]", alpha)
 	}
-	if eps < 0 || eps >= 1 {
+	if !(eps >= 0) || !(eps < 1) {
 		return nil, fmt.Errorf("qlearn: epsilon %v outside [0,1)", eps)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
 	}
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("qlearn: empty configuration set")
@@ -245,9 +248,11 @@ const snapRatio = 1.5
 
 // Observe folds an absolute QoS measurement taken while the system ran
 // config c into the learned estimate (Eqn 7's EWMA). Measurements that
-// grossly contradict the estimate replace it (see snapRatio).
+// grossly contradict the estimate replace it (see snapRatio); non-finite
+// or negative measurements carry no information and are dropped so the
+// table can never absorb a NaN from a corrupted counter.
 func (o *Optimizer) Observe(c vcore.Config, measuredQoS float64) {
-	if measuredQoS < 0 || o.frozen {
+	if !(measuredQoS >= 0) || math.IsInf(measuredQoS, 0) || o.frozen {
 		return
 	}
 	i, ok := o.idxOf[c]
@@ -632,4 +637,78 @@ func (o *Optimizer) Rate(c vcore.Config) float64 {
 		return o.rate[i]
 	}
 	return 0
+}
+
+// Epsilon returns the current exploration probability.
+func (o *Optimizer) Epsilon() float64 { return o.eps }
+
+// SetEpsilon overrides the exploration probability and returns the
+// previous value. The guard uses it to fall back to ε-free greedy
+// operation over validated entries after a quarantine — exploration
+// prefers the least-visited configurations, which right after a
+// quarantine are exactly the entries whose learned state was just
+// discarded. Values outside [0,1) are clamped to 0.
+func (o *Optimizer) SetEpsilon(eps float64) float64 {
+	old := o.eps
+	if !(eps >= 0) || eps >= 1 {
+		eps = 0
+	}
+	o.eps = eps
+	return old
+}
+
+// entryInvalid reports whether a learned estimate is unusable: NaN,
+// ±Inf, negative, or beyond maxQ (0 disables the range check). A zero
+// estimate with zero visits is the unvisited state, not corruption.
+func entryInvalid(q float64, maxQ float64) bool {
+	if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 {
+		return true
+	}
+	return maxQ > 0 && q > maxQ
+}
+
+// InvalidEntries counts learned estimates that are non-finite, negative
+// or beyond maxQ (0 disables the range check) — the state scan the
+// chaos harness runs every epoch.
+func (o *Optimizer) InvalidEntries(maxQ float64) int {
+	n := 0
+	for i := range o.qhat {
+		if o.visits[i] > 0 && entryInvalid(o.qhat[i], maxQ) {
+			n++
+		}
+	}
+	return n
+}
+
+// QuarantineInvalid scans the learned table and quarantines entries
+// whose estimates are non-finite, negative or beyond maxQ (0 disables
+// the range check): the entry reverts to the unvisited state, so
+// scheduling falls back to its prior-extrapolated estimate until fresh
+// observations re-learn it. It returns how many entries were
+// quarantined. The scan is O(|configs|) and cheap enough to run every
+// control epoch.
+func (o *Optimizer) QuarantineInvalid(maxQ float64) int {
+	n := 0
+	for i := range o.qhat {
+		if o.visits[i] > 0 && entryInvalid(o.qhat[i], maxQ) {
+			o.qhat[i] = 0
+			o.visits[i] = 0
+			n++
+		}
+	}
+	return n
+}
+
+// PokeQ overwrites the learned estimate for config c in place, marking
+// it visited so the corrupted value is live in scheduling — fault
+// injection for the chaos harness (the runtime's own state lives in
+// ordinary memory and can be struck like any other; see
+// control.Estimator.Inject). Not for production use.
+func (o *Optimizer) PokeQ(c vcore.Config, q float64) {
+	if i, ok := o.idxOf[c]; ok {
+		o.qhat[i] = q
+		if o.visits[i] == 0 {
+			o.visits[i] = 1
+		}
+	}
 }

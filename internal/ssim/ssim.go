@@ -214,6 +214,33 @@ func (s *Sim) Counters() perf.Counters {
 	return perf.SynthesizeVCore(samples)
 }
 
+// CheckInvariants verifies the simulator's structural consistency: the
+// clocks are non-negative, committed work is non-negative, the current
+// configuration is legal, and the per-Slice machinery matches the
+// configuration's Slice count. The chaos soak calls it after every
+// control quantum; a violation means adversarial input corrupted
+// simulator state rather than merely producing bad performance.
+func (s *Sim) CheckInvariants() error {
+	if s.commitCycle < 0 || s.fetchCycle < 0 {
+		return fmt.Errorf("ssim: negative clock (commit=%d fetch=%d)", s.commitCycle, s.fetchCycle)
+	}
+	if s.committed < 0 {
+		return fmt.Errorf("ssim: negative committed count %d", s.committed)
+	}
+	cfg := s.vc.Config()
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("ssim: illegal live configuration: %w", err)
+	}
+	if s.n != cfg.Slices || len(s.vc.Slices()) != cfg.Slices {
+		return fmt.Errorf("ssim: slice machinery (%d cached, %d live) disagrees with configuration %s",
+			s.n, len(s.vc.Slices()), cfg)
+	}
+	if len(s.aluFree) != s.n || len(s.lsuFree) != s.n || len(s.rob) != s.scfg.ROBSize*s.n {
+		return fmt.Errorf("ssim: resource cursors not sized for %d Slices", s.n)
+	}
+	return nil
+}
+
 // Reconfigure switches the virtual core to a new configuration,
 // charging the architectural stall (§VI-A) to the committed-work clock.
 // It returns the stall cycles.

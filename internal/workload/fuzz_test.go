@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"cash/internal/isa"
+)
+
+// FuzzGenTrace throws arbitrary phase parameters at the trace generator.
+// Whatever Validate accepts, Gen must honour: no panics, well-formed
+// instructions (ops and registers inside the architectural namespace),
+// an exact emitted count, and byte-identical replay for the same seed.
+// Parameters Validate rejects must be rejected with an error, never by
+// crashing downstream.
+func FuzzGenTrace(f *testing.F) {
+	f.Add(int64(5000), 4.0, 0.5, 0.3, 256, 16, 0.6, 0, 0.0, 0.2, int64(64), 0.01, uint64(1))
+	f.Add(int64(1), 1.0, 0.0, 0.0, 1, 1, 0.0, 0, 0.0, 0.0, int64(8), 0.0, uint64(0))
+	f.Add(int64(100), 16.0, 1.0, 1.0, 6144, 32, 0.9, 512, 0.5, 1.0, int64(4096), 0.5, uint64(42))
+	f.Fuzz(func(t *testing.T, instrs int64, depDist, depFrac, secondSrc float64,
+		wsKB, hotKB int, hotFrac float64, midKB int, midFrac, streamFrac float64,
+		stride int64, mispredict float64, seed uint64) {
+
+		p := Phase{
+			Name: "fuzz", Instrs: instrs,
+			Mix:         InstrMix{ALU: 0.4, Mul: 0.05, Div: 0.02, FPU: 0.08, Load: 0.25, Store: 0.1, Branch: 0.1},
+			MeanDepDist: depDist, DepFrac: depFrac, SecondSrcFrac: secondSrc,
+			WorkingSetKB: wsKB, HotSetKB: hotKB, HotFrac: hotFrac,
+			MidSetKB: midKB, MidFrac: midFrac,
+			StreamFrac: streamFrac, Stride: stride,
+			MispredictRate: mispredict,
+		}
+		if p.Validate() != nil {
+			return // rejected inputs must not reach the generator
+		}
+		app := App{Name: "fuzz-app", Phases: []Phase{p}}
+
+		const maxEmit = 4096
+		run := func() []isa.Instr {
+			g := NewGen(app, seed)
+			var out []isa.Instr
+			buf := make([]isa.Instr, 129)
+			for len(out) < maxEmit {
+				n := g.Next(buf)
+				if n == 0 {
+					if !g.Done() {
+						t.Fatalf("Next returned 0 with %d instructions remaining", g.Remaining())
+					}
+					break
+				}
+				if n < 0 || n > len(buf) {
+					t.Fatalf("Next returned %d for a %d-entry buffer", n, len(buf))
+				}
+				out = append(out, buf[:n]...)
+			}
+			return out
+		}
+
+		got := run()
+		want := app.TotalInstrs()
+		if want > maxEmit {
+			want = maxEmit
+		}
+		if int64(len(got)) < want {
+			t.Fatalf("emitted %d instructions, want at least %d", len(got), want)
+		}
+		for i, in := range got {
+			if in.Op < isa.OpALU || in.Op > isa.OpBranch || !in.Dst.Valid() || !in.Src1.Valid() || !in.Src2.Valid() {
+				t.Fatalf("instruction %d malformed: %+v", i, in)
+			}
+			switch in.Op {
+			case isa.OpLoad, isa.OpStore:
+				if in.Addr%8 != 0 {
+					t.Fatalf("instruction %d: unaligned data address %#x", i, in.Addr)
+				}
+			}
+			if in.PC%4 != 0 {
+				t.Fatalf("instruction %d: unaligned PC %#x", i, in.PC)
+			}
+		}
+
+		again := run()
+		if len(again) != len(got) {
+			t.Fatalf("replay emitted %d instructions, first run %d", len(again), len(got))
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("replay diverged at instruction %d: %+v vs %+v", i, got[i], again[i])
+			}
+		}
+	})
+}

@@ -12,7 +12,10 @@
 // property Fig 1 of the paper demonstrates and the CASH runtime exploits.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // InstrMix gives the fraction of dynamic instructions in each class.
 // Fields must be non-negative; Normalize scales them to sum to 1.
@@ -49,15 +52,23 @@ func (m InstrMix) Validate() error {
 		{"ALU", m.ALU}, {"Mul", m.Mul}, {"Div", m.Div}, {"FPU", m.FPU},
 		{"Load", m.Load}, {"Store", m.Store}, {"Branch", m.Branch},
 	} {
-		if f.v < 0 {
-			return fmt.Errorf("workload: negative %s fraction %v", f.name, f.v)
+		// !(v >= 0) rather than v < 0 so NaN is rejected too.
+		if !(f.v >= 0) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("workload: %s fraction %v is not a finite non-negative number", f.name, f.v)
 		}
 	}
-	if m.sum() <= 0 {
-		return fmt.Errorf("workload: empty instruction mix")
+	if s := m.sum(); !(s > 0) || math.IsInf(s, 0) {
+		return fmt.Errorf("workload: instruction mix sums to %v", s)
 	}
 	return nil
 }
+
+// maxWorkingSetKB bounds a phase's data footprint to 1TB. Each phase
+// owns a 256MB-aligned address region plus a disjoint code region; far
+// larger footprints would overflow the 64-bit layout arithmetic (a
+// 2^54KB hot set wraps its byte size to zero and turns address sampling
+// into a mod-by-zero).
+const maxWorkingSetKB = 1 << 30
 
 // Phase describes one steady-state region of an application.
 type Phase struct {
@@ -115,11 +126,15 @@ func (p Phase) Validate() error {
 	if err := p.Mix.Validate(); err != nil {
 		return fmt.Errorf("phase %q: %w", p.Name, err)
 	}
-	if p.MeanDepDist < 1 {
-		return fmt.Errorf("workload: phase %q MeanDepDist %v < 1", p.Name, p.MeanDepDist)
+	if !(p.MeanDepDist >= 1) || math.IsInf(p.MeanDepDist, 0) {
+		return fmt.Errorf("workload: phase %q MeanDepDist %v must be a finite number >= 1", p.Name, p.MeanDepDist)
 	}
 	if p.WorkingSetKB <= 0 || p.HotSetKB <= 0 {
 		return fmt.Errorf("workload: phase %q has non-positive working-set sizes", p.Name)
+	}
+	if p.WorkingSetKB > maxWorkingSetKB {
+		return fmt.Errorf("workload: phase %q working set %dKB exceeds the %dKB address-layout limit",
+			p.Name, p.WorkingSetKB, maxWorkingSetKB)
 	}
 	if p.HotSetKB > p.WorkingSetKB {
 		return fmt.Errorf("workload: phase %q hot set (%dKB) exceeds working set (%dKB)",
@@ -132,7 +147,7 @@ func (p Phase) Validate() error {
 		return fmt.Errorf("workload: phase %q hot+mid sets (%d+%dKB) exceed working set (%dKB)",
 			p.Name, p.HotSetKB, p.MidSetKB, p.WorkingSetKB)
 	}
-	if p.MidFrac < 0 || p.MidFrac > 1 {
+	if !(p.MidFrac >= 0 && p.MidFrac <= 1) {
 		return fmt.Errorf("workload: phase %q MidFrac=%v outside [0,1]", p.Name, p.MidFrac)
 	}
 	for _, f := range []struct {
@@ -143,7 +158,7 @@ func (p Phase) Validate() error {
 		{"HotFrac", p.HotFrac}, {"StreamFrac", p.StreamFrac},
 		{"MispredictRate", p.MispredictRate},
 	} {
-		if f.v < 0 || f.v > 1 {
+		if !(f.v >= 0 && f.v <= 1) {
 			return fmt.Errorf("workload: phase %q %s=%v outside [0,1]", p.Name, f.name, f.v)
 		}
 	}
