@@ -203,10 +203,7 @@ func BenchmarkRuntimeDecide(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	obs := []struct{}{}
-	_ = obs
-	prev := rt.Decide(nil, 100_000)
-	_ = prev
+	rt.Decide(nil, 100_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rt.Decide(nil, 100_000)

@@ -5,7 +5,8 @@
 //
 //	cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n]
 //	        [-jobs n] [-cell-timeout d] [-max-retries n]
-//	        [-journal file] [-resume] [-v] <artifact>
+//	        [-journal file] [-resume] [-v]
+//	        [-cpuprofile file] [-memprofile file] <artifact>
 //
 // where artifact is one of: fig1 fig2 table1 table2 overhead fig7
 // table3 fig8 fig9 fig10 ablations reliability all.
@@ -30,6 +31,10 @@
 // reproducible schedule and print per-policy fault/remap/degradation
 // counters.
 //
+// -cpuprofile and -memprofile write pprof profiles of the run (CPU
+// samples during execution; a heap snapshot at exit) for use with
+// `go tool pprof`; the simulator's fast path was tuned against these.
+//
 // The brute-force characterisation (§V-C) is cached on disk
 // ($CASH_ORACLE_CACHE or the user cache directory), so repeated
 // invocations are fast. -scale shrinks workloads proportionally; the
@@ -42,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cash"
@@ -62,8 +69,10 @@ func main() {
 	chaosSeeds := flag.Int("chaos-seeds", 20, "chaos soak: seeds per scenario")
 	chaosQuanta := flag.Int("chaos-quanta", 0, "chaos soak: control quanta per run (0 = default)")
 	chaosGuard := flag.Bool("chaos-guard", true, "chaos soak: arm the guardrails (false = hazard baseline)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to a file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] <artifact>\n")
+		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
 		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-out file]\n\n")
 		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability all\n")
 		flag.PrintDefaults()
@@ -79,12 +88,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashsim:", err)
+		os.Exit(1)
+	}
+	// fail flushes the profiles before exiting, since os.Exit skips defers.
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "cashsim:", err)
+		stopProf()
+		os.Exit(1)
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cashsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
@@ -96,8 +116,7 @@ func main() {
 			Seeds: *chaosSeeds, Quanta: *chaosQuanta, Guardrails: *chaosGuard,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cashsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Fprint(w, rep.Summary())
 		for _, r := range rep.Results {
@@ -107,6 +126,7 @@ func main() {
 			fmt.Fprintf(w, "  FAIL %s seed %d: %v\n", r.Scenario, r.Seed, r.Violations)
 		}
 		fmt.Fprintf(os.Stderr, "cashsim: chaos soak done in %v\n", time.Since(start).Round(time.Millisecond))
+		stopProf()
 		if *chaosGuard && !rep.Passed() {
 			os.Exit(1)
 		}
@@ -124,8 +144,44 @@ func main() {
 		JournalPath: *journal, Resume: *resume, Log: log,
 	}
 	if err := cash.ReproduceWith(w, flag.Arg(0), opts); err != nil {
-		fmt.Fprintln(os.Stderr, "cashsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "cashsim: %s done in %v\n", flag.Arg(0), time.Since(start).Round(time.Millisecond))
+	stopProf()
+}
+
+// startProfiles enables the requested pprof outputs. The returned stop
+// function flushes them and must run on every exit path: os.Exit skips
+// deferred calls, so main threads it through explicitly.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashsim: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cashsim: memprofile:", err)
+		}
+	}, nil
 }

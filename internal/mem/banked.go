@@ -17,6 +17,13 @@ type BankedL2 struct {
 	// core's Slices in the fabric layout, which sets its hit delay
 	// (Table II: distance*2+4). Maintained by the fabric placement.
 	distance []int
+	// bankMask/bankShift replace locate's divide when the bank count
+	// is a power of two — which every paper-valid L2 size yields, so
+	// the hot path never pays a hardware division. bankPow2 guards the
+	// fallback for odd counts constructed directly in tests.
+	bankPow2  bool
+	bankShift uint
+	bankMask  uint64
 }
 
 // NewBankedL2 creates an L2 of the given number of 64KB banks.
@@ -32,7 +39,19 @@ func NewBankedL2(banks int) (*BankedL2, error) {
 	for i := range l2.banks {
 		l2.banks[i] = MustCache(L2BankKB, L2Assoc)
 	}
+	l2.setGeometry()
 	return l2, nil
+}
+
+// setGeometry derives the power-of-two fast-path constants for locate
+// from the current bank count.
+func (l *BankedL2) setGeometry() {
+	n := len(l.banks)
+	l.bankPow2 = n&(n-1) == 0
+	if l.bankPow2 {
+		l.bankShift = uint(log2(n))
+		l.bankMask = uint64(n - 1)
+	}
 }
 
 // MustBankedL2 is NewBankedL2 for statically-valid bank counts.
@@ -96,10 +115,11 @@ func (l *BankedL2) SetDistances(d []int) error {
 // of every bank is usable.
 func (l *BankedL2) locate(addr uint64) (bank int, bankAddr uint64) {
 	block := addr / BlockBytes
+	if l.bankPow2 {
+		return int(block & l.bankMask), (block >> l.bankShift) * BlockBytes
+	}
 	n := uint64(len(l.banks))
-	bank = int(block % n)
-	bankAddr = (block / n) * BlockBytes
-	return bank, bankAddr
+	return int(block % n), (block / n) * BlockBytes
 }
 
 // Access looks the address up in its home bank, allocating on miss.
@@ -179,6 +199,7 @@ func (l *BankedL2) Reconfigure(newBanks int) (dirtyLines int, err error) {
 			l.banks[i] = MustCache(L2BankKB, L2Assoc)
 		}
 		l.distance = DefaultDistances(newBanks)
+		l.setGeometry()
 	}
 	// Re-home the aggregate counters on bank 0 so reconfiguration does
 	// not erase measurement history.

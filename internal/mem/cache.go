@@ -56,6 +56,13 @@ func (s Stats) MissRate() float64 {
 
 // Cache is a set-associative write-back, write-allocate cache with LRU
 // replacement.
+//
+// The per-line bookkeeping is a single fused metadata word per line
+// (valid bit, dirty bit and tag in one uint64) plus a recency stamp:
+// probing a set is one contiguous-slice scan with a single compare per
+// way, and an LRU touch is one store instead of an aging sweep. The
+// replacement behaviour is bit-identical to a textbook age-counter LRU
+// (guarded by TestCacheMatchesNaiveModel).
 type Cache struct {
 	sizeKB     int
 	assoc      int
@@ -64,14 +71,28 @@ type Cache struct {
 	blockShift uint
 	tagShift   uint
 
-	// Per-line metadata, indexed [set*assoc + way].
-	tags  []uint64
-	valid []bool
-	dirty []bool
-	age   []uint8 // LRU age within the set: 0 = most recent
+	// lines interleaves each way's two bookkeeping words:
+	// lines[2*(set*assoc+way)] fuses the line's valid bit, dirty bit and
+	// tag (tags are at most 58 bits — 64 minus blockShift, with
+	// blockShift fixed at log2(64) — so the two flag bits never
+	// collide), and lines[2*(set*assoc+way)+1] is the line's last-touch
+	// stamp on its set's clock; the LRU victim is the valid way with the
+	// smallest stamp. Stamps within a set are distinct, so the order is
+	// strict. Interleaving keeps a whole set's metadata in one or two
+	// host cache lines, so the probe and the LRU touch share the lines
+	// the probe already pulled in.
+	lines []uint64
+	// clock[set] is the set's monotonically increasing touch counter.
+	clock []uint64
 
 	stats Stats
 }
+
+// Metadata-word layout.
+const (
+	metaValid = uint64(1) << 63
+	metaDirty = uint64(1) << 62
+)
 
 // NewCache builds a cache of sizeKB kilobytes with the given
 // associativity and the global 64-byte block size. Size must yield a
@@ -95,10 +116,8 @@ func NewCache(sizeKB, assoc int) (*Cache, error) {
 		setMask:    uint64(sets - 1),
 		blockShift: blockShift(),
 		tagShift:   uint(log2(sets)),
-		tags:       make([]uint64, lines),
-		valid:      make([]bool, lines),
-		dirty:      make([]bool, lines),
-		age:        make([]uint8, lines),
+		lines:      make([]uint64, 2*lines),
+		clock:      make([]uint64, sets),
 	}
 	return c, nil
 }
@@ -143,48 +162,48 @@ func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
 	block := addr >> c.blockShift
 	set := int(block & c.setMask)
 	tag := block >> c.tagShift
-	base := set * c.assoc
+	base := 2 * set * c.assoc
+	want := metaValid | tag
+	ln := c.lines[base : base+2*c.assoc : base+2*c.assoc]
+	// Both the hit and miss paths tick the set clock exactly once, so
+	// advance it up front and keep the new value in a register.
+	cl := c.clock[set] + 1
+	c.clock[set] = cl
 
-	// Probe.
-	for w := 0; w < c.assoc; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+	// Probe: one compare per way against the fused valid+tag word.
+	for i := 0; i < len(ln); i += 2 {
+		if ln[i]&^metaDirty == want {
 			c.stats.Hits++
-			c.touch(base, w)
 			if write {
-				c.dirty[i] = true
+				ln[i] |= metaDirty
 			}
+			ln[i+1] = cl
 			return true, false
 		}
 	}
 
-	// Miss: pick the victim (invalid way first, else LRU).
+	// Miss: pick the victim by minimum stamp. Invalid ways carry stamp 0
+	// and valid ways are stamped ≥ 1 (the clock pre-increments before the
+	// first touch and Flush zeroes both), so one scan finds the first
+	// invalid way if any exists, else the LRU way — the same choice the
+	// two-pass invalid-then-LRU search makes.
 	c.stats.Misses++
-	victim := -1
-	for w := 0; w < c.assoc; w++ {
-		if !c.valid[base+w] {
-			victim = w
-			break
+	victim, oldest := 0, ^uint64(0)
+	for i := 1; i < len(ln); i += 2 {
+		if st := ln[i]; st < oldest {
+			oldest, victim = st, i-1
 		}
 	}
-	if victim < 0 {
-		oldest := uint8(0)
-		for w := 0; w < c.assoc; w++ {
-			if a := c.age[base+w]; a >= oldest {
-				oldest = a
-				victim = w
-			}
-		}
-	}
-	i := base + victim
-	writeback = c.valid[i] && c.dirty[i]
+	writeback = ln[victim]&(metaValid|metaDirty) == metaValid|metaDirty
 	if writeback {
 		c.stats.Writebacks++
 	}
-	c.tags[i] = tag
-	c.valid[i] = true
-	c.dirty[i] = write
-	c.touch(base, victim)
+	m := want
+	if write {
+		m |= metaDirty
+	}
+	ln[victim] = m
+	ln[victim+1] = cl
 	return false, writeback
 }
 
@@ -194,33 +213,21 @@ func (c *Cache) Contains(addr uint64) bool {
 	block := addr >> c.blockShift
 	set := int(block & c.setMask)
 	tag := block >> c.tagShift
-	base := set * c.assoc
+	base := 2 * set * c.assoc
+	want := metaValid | tag
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+		if c.lines[base+2*w]&^metaDirty == want {
 			return true
 		}
 	}
 	return false
 }
 
-// touch makes way w the most recently used in its set. Ways whose age
-// ties or trails the touched way's move one step older, so ages stay a
-// strict recency order even from the all-zero initial state.
-func (c *Cache) touch(base, w int) {
-	cur := c.age[base+w]
-	for k := 0; k < c.assoc; k++ {
-		if k != w && c.age[base+k] <= cur {
-			c.age[base+k]++
-		}
-	}
-	c.age[base+w] = 0
-}
-
 // DirtyLines returns the number of resident dirty lines.
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for i, v := range c.valid {
-		if v && c.dirty[i] {
+	for i := 0; i < len(c.lines); i += 2 {
+		if c.lines[i]&(metaValid|metaDirty) == metaValid|metaDirty {
 			n++
 		}
 	}
@@ -230,8 +237,8 @@ func (c *Cache) DirtyLines() int {
 // ValidLines returns the number of resident lines.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for i := 0; i < len(c.lines); i += 2 {
+		if c.lines[i]&metaValid != 0 {
 			n++
 		}
 	}
@@ -242,14 +249,16 @@ func (c *Cache) ValidLines() int {
 // lines that had to be written back. The flush cost in cycles is
 // dirtyLines*BlockBytes/NetworkWidthBytes (see FlushCycles).
 func (c *Cache) Flush() (dirtyLines int) {
-	for i := range c.valid {
-		if c.valid[i] && c.dirty[i] {
+	for i := 0; i < len(c.lines); i += 2 {
+		if c.lines[i]&(metaValid|metaDirty) == metaValid|metaDirty {
 			dirtyLines++
 			c.stats.Writebacks++
 		}
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.age[i] = 0
+		c.lines[i] = 0
+		c.lines[i+1] = 0
+	}
+	for s := range c.clock {
+		c.clock[s] = 0
 	}
 	return dirtyLines
 }

@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveCache is the seed implementation of Cache — separate tag/valid/
+// dirty arrays and an age-counter LRU — kept verbatim as the behavioural
+// reference for the fused-metadata rewrite. Every observable (hit and
+// writeback results, statistics, residency, dirty counts, flush sizes)
+// must match Cache exactly on any access stream.
+type naiveCache struct {
+	assoc      int
+	setMask    uint64
+	blockShift uint
+	tagShift   uint
+
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	age   []uint8
+
+	stats Stats
+}
+
+func newNaiveCache(sizeKB, assoc int) *naiveCache {
+	lines := sizeKB * 1024 / BlockBytes
+	sets := lines / assoc
+	return &naiveCache{
+		assoc:      assoc,
+		setMask:    uint64(sets - 1),
+		blockShift: blockShift(),
+		tagShift:   uint(log2(sets)),
+		tags:       make([]uint64, lines),
+		valid:      make([]bool, lines),
+		dirty:      make([]bool, lines),
+		age:        make([]uint8, lines),
+	}
+}
+
+func (c *naiveCache) access(addr uint64, write bool) (hit, writeback bool) {
+	c.stats.Accesses++
+	block := addr >> c.blockShift
+	set := int(block & c.setMask)
+	tag := block >> c.tagShift
+	base := set * c.assoc
+
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stats.Hits++
+			c.touch(base, w)
+			if write {
+				c.dirty[i] = true
+			}
+			return true, false
+		}
+	}
+
+	c.stats.Misses++
+	victim := -1
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		oldest := uint8(0)
+		for w := 0; w < c.assoc; w++ {
+			if a := c.age[base+w]; a >= oldest {
+				oldest = a
+				victim = w
+			}
+		}
+	}
+	i := base + victim
+	writeback = c.valid[i] && c.dirty[i]
+	if writeback {
+		c.stats.Writebacks++
+	}
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.touch(base, victim)
+	return false, writeback
+}
+
+func (c *naiveCache) touch(base, w int) {
+	cur := c.age[base+w]
+	for k := 0; k < c.assoc; k++ {
+		if k != w && c.age[base+k] <= cur {
+			c.age[base+k]++
+		}
+	}
+	c.age[base+w] = 0
+}
+
+func (c *naiveCache) contains(addr uint64) bool {
+	block := addr >> c.blockShift
+	set := int(block & c.setMask)
+	tag := block >> c.tagShift
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *naiveCache) dirtyLines() int {
+	n := 0
+	for i, v := range c.valid {
+		if v && c.dirty[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *naiveCache) validLines() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *naiveCache) flush() (dirtyLines int) {
+	for i := range c.valid {
+		if c.valid[i] && c.dirty[i] {
+			dirtyLines++
+			c.stats.Writebacks++
+		}
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.age[i] = 0
+	}
+	return dirtyLines
+}
+
+// TestCacheMatchesNaiveModel drives the fused-metadata Cache and the
+// seed age-counter model with identical random address streams across
+// several geometries (including a single-set, high-associativity
+// corner) and demands bit-identical observables at every step.
+func TestCacheMatchesNaiveModel(t *testing.T) {
+	geometries := []struct {
+		name          string
+		sizeKB, assoc int
+	}{
+		{"L1-16KB-2way", L1SizeKB, L1Assoc},
+		{"L2bank-64KB-4way", L2BankKB, L2Assoc},
+		{"single-set-1KB-16way", 1, 16},
+		{"direct-mapped-4KB", 4, 1},
+	}
+	for _, g := range geometries {
+		t.Run(g.name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				c := MustCache(g.sizeKB, g.assoc)
+				ref := newNaiveCache(g.sizeKB, g.assoc)
+				// Footprint a few times the capacity so streams mix
+				// conflict misses, capacity misses and re-touches.
+				span := uint64(g.sizeKB) * 1024 * 4
+				for i := 0; i < 60_000; i++ {
+					// Occasionally jump far away to exercise tag bits
+					// beyond the footprint (bit 40 region and above).
+					addr := r.Uint64() % span
+					if r.Intn(64) == 0 {
+						addr |= 1 << 40
+					}
+					write := r.Intn(3) == 0
+					hit, wb := c.Access(addr, write)
+					rhit, rwb := ref.access(addr, write)
+					if hit != rhit || wb != rwb {
+						t.Fatalf("step %d addr %#x write=%v: got (%v,%v), reference (%v,%v)",
+							i, addr, write, hit, wb, rhit, rwb)
+					}
+					if r.Intn(128) == 0 {
+						probe := r.Uint64() % span
+						if c.Contains(probe) != ref.contains(probe) {
+							t.Fatalf("step %d: Contains(%#x) diverged", i, probe)
+						}
+					}
+					if r.Intn(4096) == 0 {
+						if got, want := c.Flush(), ref.flush(); got != want {
+							t.Fatalf("step %d: Flush flushed %d dirty lines, reference %d", i, got, want)
+						}
+					}
+					if r.Intn(512) == 0 {
+						if c.DirtyLines() != ref.dirtyLines() || c.ValidLines() != ref.validLines() {
+							t.Fatalf("step %d: residency diverged (%d/%d dirty, %d/%d valid)",
+								i, c.DirtyLines(), ref.dirtyLines(), c.ValidLines(), ref.validLines())
+						}
+					}
+				}
+				if c.Stats() != ref.stats {
+					t.Fatalf("final stats diverged: %+v vs reference %+v", c.Stats(), ref.stats)
+				}
+				if got, want := c.Flush(), ref.flush(); got != want {
+					t.Fatalf("final Flush flushed %d, reference %d", got, want)
+				}
+			}
+		})
+	}
+}

@@ -31,13 +31,21 @@ func DefaultCachePath() string {
 
 // cacheMagic heads the current cache format: the magic, an 8-digit hex
 // CRC32 of the gob payload, and a newline, followed by the payload.
-// Files without the magic are legacy bare-gob caches and still load.
-const cacheMagic = "CASHORACLE1 "
+//
+// The version in the magic is tied to the appKey scheme: CASHORACLE2
+// entries are keyed by the full-Phase FNV-1a digest. CASHORACLE1 files
+// (and the bare-gob caches that predate the header) were keyed by a
+// digest that collapsed the instruction mix to one scalar and omitted
+// the dependence fractions, so distinct workloads could collide; such
+// files are rejected on load rather than decoded, and the caller
+// re-characterises from scratch.
+const cacheMagic = "CASHORACLE2 "
 
 // LoadCache merges entries from the file into the database. A missing
-// file is not an error. A cache whose checksum header does not match
-// its payload is discarded (the caller should warn and re-characterise)
-// rather than decoded as garbage.
+// file is not an error. A cache with an old or unrecognised format, or
+// whose checksum header does not match its payload, is discarded (the
+// caller should warn and re-characterise) rather than decoded as
+// stale or garbage data.
 func (db *DB) LoadCache(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -46,18 +54,19 @@ func (db *DB) LoadCache(path string) error {
 		}
 		return fmt.Errorf("oracle: opening cache: %w", err)
 	}
-	payload := raw
-	if bytes.HasPrefix(raw, []byte(cacheMagic)) {
-		rest := raw[len(cacheMagic):]
-		nl := bytes.IndexByte(rest, '\n')
-		if nl != 8 {
-			return fmt.Errorf("oracle: cache %s has a malformed checksum header; discarding it", path)
-		}
-		payload = rest[nl+1:]
-		want := string(rest[:8])
-		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)); got != want {
-			return fmt.Errorf("oracle: cache %s checksum mismatch (%s != %s); discarding it", path, got, want)
-		}
+	if !bytes.HasPrefix(raw, []byte(cacheMagic)) {
+		return fmt.Errorf("oracle: cache %s is not in the %sformat (old caches were keyed by a digest that allowed collisions); discarding it",
+			path, cacheMagic)
+	}
+	rest := raw[len(cacheMagic):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl != 8 {
+		return fmt.Errorf("oracle: cache %s has a malformed checksum header; discarding it", path)
+	}
+	payload := rest[nl+1:]
+	want := string(rest[:8])
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)); got != want {
+		return fmt.Errorf("oracle: cache %s checksum mismatch (%s != %s); discarding it", path, got, want)
 	}
 	var m map[string]Char
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {

@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// legacyAppKey is the digest the cache used before CASHORACLE2: the
+// instruction mix collapsed to the scalar ALU+2·Load+4·FPU, and
+// DepFrac/SecondSrcFrac not keyed at all. Kept verbatim as the
+// regression reference: the apps below must collide under it and must
+// NOT collide under the current appKey.
+func legacyAppKey(app workload.App) string {
+	k := fmt.Sprintf("%s/%d", app.Name, len(app.Phases))
+	for _, p := range app.Phases {
+		k += fmt.Sprintf("|%s,%d,%d,%d,%d,%g,%g,%g,%g,%g,%d,%g,%d",
+			p.Name, p.Instrs, p.WorkingSetKB, p.HotSetKB, p.MidSetKB,
+			p.MidFrac, p.HotFrac, p.StreamFrac, p.MispredictRate,
+			p.MeanDepDist, p.Stride, p.Mix.ALU+2*p.Mix.Load+4*p.Mix.FPU, p.RegionID)
+	}
+	return k
+}
+
+// collidingApps returns two behaviourally different applications that
+// the legacy digest cannot tell apart: the mixes differ (ALU-heavy vs
+// load-heavy) but agree on ALU+2·Load+4·FPU, and the dependence
+// fractions — which the legacy key ignored — differ too.
+func collidingApps() (workload.App, workload.App) {
+	base := workload.Phase{
+		Name:           "p",
+		Instrs:         400_000,
+		MeanDepDist:    4,
+		WorkingSetKB:   256,
+		HotSetKB:       16,
+		HotFrac:        0.6,
+		StreamFrac:     0.2,
+		Stride:         64,
+		MispredictRate: 0.02,
+	}
+	pa, pb := base, base
+	// ALU + 2·Load + 4·FPU: 0.40 + 2·0.20 + 4·0.05 = 1.0 for both.
+	pa.Mix = workload.InstrMix{ALU: 0.40, Load: 0.20, FPU: 0.05, Store: 0.15, Branch: 0.20}
+	pa.DepFrac, pa.SecondSrcFrac = 0.7, 0.4
+	pb.Mix = workload.InstrMix{ALU: 0.60, Load: 0.10, FPU: 0.05, Store: 0.05, Branch: 0.20}
+	pb.DepFrac, pb.SecondSrcFrac = 0.2, 0.1
+	a := workload.App{Name: "twin", Phases: []workload.Phase{pa}}
+	b := workload.App{Name: "twin", Phases: []workload.Phase{pb}}
+	return a, b
+}
+
+// TestAppKeyCollisionRegression pins the bug the key scheme change
+// fixes: two distinct workloads that the legacy digest conflated (one
+// would silently be served the other's cached characterisation) get
+// distinct keys — and distinct measurements — under the current digest.
+func TestAppKeyCollisionRegression(t *testing.T) {
+	a, b := collidingApps()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if legacyAppKey(a) != legacyAppKey(b) {
+		t.Fatal("test apps no longer collide under the legacy digest; the regression is untested")
+	}
+	if appKey(a) == appKey(b) {
+		t.Fatal("distinct workloads still collide under the current appKey")
+	}
+
+	db := NewDB()
+	cfg := vcore.Config{Slices: 2, L2KB: 128}
+	ca := db.Characterize(a, cfg)
+	cb := db.Characterize(b, cfg)
+	if db.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2 (one per distinct workload)", db.Entries())
+	}
+	// The two mixes are behaviourally far apart; identical IPC would
+	// mean b was served a's entry.
+	if ca.Avg[0] == cb.Avg[0] {
+		t.Error("colliding-key twins characterised identically — cache served the wrong entry")
+	}
+}
+
+// TestAppKeySensitivity checks that every field the legacy digest
+// dropped or conflated now changes the key.
+func TestAppKeySensitivity(t *testing.T) {
+	a, _ := collidingApps()
+	mutate := []struct {
+		name string
+		fn   func(*workload.Phase)
+	}{
+		{"Mix.Mul vs Div swap", func(p *workload.Phase) {
+			p.Mix.ALU -= 0.02
+			p.Mix.Mul += 0.02
+		}},
+		{"Mix.Store vs Branch", func(p *workload.Phase) {
+			p.Mix.Store += 0.05
+			p.Mix.Branch -= 0.05
+		}},
+		{"DepFrac", func(p *workload.Phase) { p.DepFrac += 0.05 }},
+		{"SecondSrcFrac", func(p *workload.Phase) { p.SecondSrcFrac += 0.05 }},
+	}
+	for _, m := range mutate {
+		v := a
+		v.Phases = append([]workload.Phase(nil), a.Phases...)
+		m.fn(&v.Phases[0])
+		if appKey(v) == appKey(a) {
+			t.Errorf("%s: key unchanged by a behavioural difference", m.name)
+		}
+	}
+}
+
+// TestCharacterizeDeduplicatesConcurrentCalls asserts the singleflight
+// behaviour: many goroutines racing on the same (app, configuration)
+// run exactly one measurement per distinct key.
+func TestCharacterizeDeduplicatesConcurrentCalls(t *testing.T) {
+	db := NewDB()
+	app := tinyApp()
+	cfgs := []vcore.Config{
+		{Slices: 1, L2KB: 64},
+		{Slices: 2, L2KB: 128},
+	}
+	const callers = 16
+	results := make([][]Char, len(cfgs))
+	var wg sync.WaitGroup
+	for ci, cfg := range cfgs {
+		results[ci] = make([]Char, callers)
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(ci, g int, cfg vcore.Config) {
+				defer wg.Done()
+				results[ci][g] = db.Characterize(app, cfg)
+			}(ci, g, cfg)
+		}
+	}
+	wg.Wait()
+
+	db.mu.Lock()
+	measured := db.measured
+	inflight := len(db.inflight)
+	db.mu.Unlock()
+	if measured != int64(len(cfgs)) {
+		t.Fatalf("measured %d times, want exactly %d (one per key)", measured, len(cfgs))
+	}
+	if inflight != 0 {
+		t.Fatalf("%d in-flight entries leaked", inflight)
+	}
+	if db.Entries() != len(cfgs) {
+		t.Fatalf("Entries = %d, want %d", db.Entries(), len(cfgs))
+	}
+	for ci := range cfgs {
+		for g := 1; g < callers; g++ {
+			for i := range results[ci][0].Avg {
+				if results[ci][g].Avg[i] != results[ci][0].Avg[i] {
+					t.Fatalf("cfg %d caller %d got a different characterisation", ci, g)
+				}
+			}
+		}
+	}
+}

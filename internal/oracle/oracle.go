@@ -14,7 +14,9 @@
 package oracle
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"sync"
@@ -49,8 +51,20 @@ type DB struct {
 	// it should match the experiment engine's control quantum.
 	Window int64
 
-	mu    sync.Mutex
-	cache map[string]Char
+	mu       sync.Mutex
+	cache    map[string]Char
+	inflight map[string]*inflightChar
+
+	// measured counts measureApp executions, for tests asserting the
+	// in-flight deduplication (exactly one measurement per key).
+	measured int64
+}
+
+// inflightChar is a Characterize call in progress; later callers for
+// the same key wait on done instead of measuring again.
+type inflightChar struct {
+	done chan struct{}
+	val  Char
 }
 
 // DefaultWindow matches the experiment engine's default control quantum.
@@ -64,24 +78,68 @@ func NewDB() *DB {
 		Seed:     42,
 		Window:   DefaultWindow,
 		cache:    make(map[string]Char),
+		inflight: make(map[string]*inflightChar),
 	}
 }
 
 // appKey digests the application definition, so that differently-scaled
-// or differently-tuned variants never collide even under one name.
+// or differently-tuned variants never collide even under one name. The
+// digest is an FNV-1a hash over every Phase field in a fixed order —
+// strings length-prefixed, floats as their IEEE-754 bit patterns — so
+// two applications share a key only if they are behaviourally identical
+// to the generator. (An earlier scheme collapsed the instruction mix to
+// the scalar ALU+2·Load+4·FPU and omitted DepFrac and SecondSrcFrac
+// entirely, which let distinct workloads collide and serve each other's
+// cached characterisations; cache files keyed that way carry the old
+// magic and are discarded on load.)
 func appKey(app workload.App) string {
-	k := fmt.Sprintf("%s/%d", app.Name, len(app.Phases))
-	for _, p := range app.Phases {
-		k += fmt.Sprintf("|%s,%d,%d,%d,%d,%g,%g,%g,%g,%g,%d,%g,%d",
-			p.Name, p.Instrs, p.WorkingSetKB, p.HotSetKB, p.MidSetKB,
-			p.MidFrac, p.HotFrac, p.StreamFrac, p.MispredictRate,
-			p.MeanDepDist, p.Stride, p.Mix.ALU+2*p.Mix.Load+4*p.Mix.FPU, p.RegionID)
+	h := fnv.New64a()
+	var b [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
 	}
-	return k
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	str(app.Name)
+	u64(uint64(len(app.Phases)))
+	for i := range app.Phases {
+		p := &app.Phases[i]
+		str(p.Name)
+		u64(uint64(p.Instrs))
+		f64(p.Mix.ALU)
+		f64(p.Mix.Mul)
+		f64(p.Mix.Div)
+		f64(p.Mix.FPU)
+		f64(p.Mix.Load)
+		f64(p.Mix.Store)
+		f64(p.Mix.Branch)
+		f64(p.MeanDepDist)
+		f64(p.DepFrac)
+		f64(p.SecondSrcFrac)
+		u64(uint64(p.WorkingSetKB))
+		u64(uint64(p.HotSetKB))
+		f64(p.HotFrac)
+		u64(uint64(p.MidSetKB))
+		f64(p.MidFrac)
+		f64(p.StreamFrac)
+		u64(uint64(p.Stride))
+		f64(p.MispredictRate)
+		u64(uint64(p.RegionID))
+	}
+	// Keep the name readable in front of the digest for debuggability.
+	return fmt.Sprintf("%s#%016x", app.Name, h.Sum64())
 }
 
-// Characterize returns the characterisation of app on cfg, measuring
-// it on first use.
+// Characterize returns the characterisation of app on cfg, measuring it
+// on first use. Concurrent calls for the same key are deduplicated:
+// the first caller measures, the rest wait for its result. Without
+// this, the parallel sweep of CharacterizeApp (or several experiment
+// cells sharing a DB) could burn a full application simulation per
+// caller before the first result lands in the cache.
 func (db *DB) Characterize(app workload.App, cfg vcore.Config) Char {
 	key := appKey(app) + "@" + cfg.String()
 	db.mu.Lock()
@@ -89,14 +147,26 @@ func (db *DB) Characterize(app workload.App, cfg vcore.Config) Char {
 		db.mu.Unlock()
 		return v
 	}
+	if c, ok := db.inflight[key]; ok {
+		db.mu.Unlock()
+		<-c.done
+		return c.val
+	}
+	c := &inflightChar{done: make(chan struct{})}
+	if db.inflight == nil {
+		db.inflight = make(map[string]*inflightChar)
+	}
+	db.inflight[key] = c
 	db.mu.Unlock()
 
-	v := db.measureApp(app, cfg)
+	c.val = db.measureApp(app, cfg)
 
 	db.mu.Lock()
-	db.cache[key] = v
+	db.cache[key] = c.val
+	delete(db.inflight, key)
 	db.mu.Unlock()
-	return v
+	close(c.done)
+	return c.val
 }
 
 // PhaseIPC returns the in-context average IPC of every phase of app on
@@ -120,6 +190,9 @@ func (db *DB) MinQuantumIPC(app workload.App, phaseIdx int, cfg vcore.Config) fl
 // measureApp executes the whole application once on cfg, quantum window
 // by quantum window.
 func (db *DB) measureApp(app workload.App, cfg vcore.Config) Char {
+	db.mu.Lock()
+	db.measured++
+	db.mu.Unlock()
 	sim := ssim.MustNew(cfg, db.SliceCfg, db.Policy)
 	gen := workload.NewGen(app, db.Seed)
 	ch := Char{

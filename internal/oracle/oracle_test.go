@@ -254,12 +254,14 @@ func TestLoadCacheChecksumMismatch(t *testing.T) {
 	}
 }
 
-func TestLoadCacheLegacyFormat(t *testing.T) {
-	// A pre-header cache is bare gob from byte zero; it must still load.
-	path := filepath.Join(t.TempDir(), "legacy.gob")
+func TestLoadCacheRejectsOldFormats(t *testing.T) {
+	// Caches written before the CASHORACLE2 key scheme — both the
+	// CASHORACLE1 header and the bare-gob files that predate headers —
+	// were keyed by a colliding digest. They must be rejected with a
+	// warning error and must not contribute entries.
+	path := filepath.Join(t.TempDir(), "old.gob")
 	db := NewDB()
-	app := tinyApp()
-	want := db.Characterize(app, vcore.Min())
+	db.Characterize(tinyApp(), vcore.Min())
 	if err := db.SaveCache(path); err != nil {
 		t.Fatal(err)
 	}
@@ -274,17 +276,20 @@ func TestLoadCacheLegacyFormat(t *testing.T) {
 			break
 		}
 	}
-	if err := os.WriteFile(path, b[nl+1:], 0o644); err != nil {
-		t.Fatal(err)
+	old := [][]byte{
+		b[nl+1:], // bare gob, pre-header
+		append([]byte("CASHORACLE1 00000000\n"), b[nl+1:]...), // previous key scheme
 	}
-	db2 := NewDB()
-	if err := db2.LoadCache(path); err != nil {
-		t.Fatalf("legacy cache must load: %v", err)
-	}
-	got := db2.Characterize(app, vcore.Min())
-	for i := range want.Avg {
-		if got.Avg[i] != want.Avg[i] {
-			t.Fatal("legacy load altered data")
+	for i, raw := range old {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db2 := NewDB()
+		if err := db2.LoadCache(path); err == nil {
+			t.Fatalf("case %d: old-format cache must be rejected", i)
+		}
+		if db2.Entries() != 0 {
+			t.Fatalf("case %d: old-format cache must not contribute entries", i)
 		}
 	}
 }

@@ -131,6 +131,26 @@ func (t *RenameTable) CopyIn(g isa.Reg, version uint64) {
 	t.slotOf[g] = int16(s)
 }
 
+// ReadIn records that this Slice consumed global g as a source
+// operand: a Slice that already maps g keeps its state untouched (a
+// read never demotes a primary or moves a version), otherwise a reader
+// copy at the given version is allocated. It reports whether g was
+// already mapped — the caller uses that to decide whether the value had
+// to travel. This is Lookup+CopyIn fused into a single map probe for
+// the simulator's per-source hot path.
+func (t *RenameTable) ReadIn(g isa.Reg, version uint64) (held bool) {
+	if g == isa.RegZero {
+		return true
+	}
+	if t.slotOf[g] >= 0 {
+		return true
+	}
+	s := t.alloc()
+	t.local[s] = localReg{global: g, valid: true, primary: false, version: version}
+	t.slotOf[g] = int16(s)
+	return false
+}
+
 // Demote marks this Slice's copy of g as a reader copy (the primary
 // moved elsewhere because another Slice wrote g).
 func (t *RenameTable) Demote(g isa.Reg) {
@@ -180,19 +200,31 @@ func (t *RenameTable) alloc() int {
 		scan = allocScanCap
 	}
 	// Prefer a free slot or a reader copy within the scan window.
+	// The clock hand stays in [0, n), so wraparound is a compare
+	// instead of a modulo — this is the simulator's hot path.
+	s := t.clock
 	for i := 0; i < scan; i++ {
-		s := (t.clock + i) % n
 		if !t.local[s].valid || !t.local[s].primary {
 			t.evict(s)
-			t.clock = (s + 1) % n
+			t.clock = s + 1
+			if t.clock == n {
+				t.clock = 0
+			}
 			return s
+		}
+		s++
+		if s == n {
+			s = 0
 		}
 	}
 	// Window full of primaries: spill the one under the clock hand.
-	s := t.clock % n
+	s = t.clock
 	t.Spills++
 	t.evict(s)
-	t.clock = (s + 1) % n
+	t.clock = s + 1
+	if t.clock == n {
+		t.clock = 0
+	}
 	return s
 }
 

@@ -66,6 +66,23 @@ const globalRenameSync = 1
 // fetchBlock groups instructions into I-cache line probes.
 const fetchBlockMask = ^uint64(mem.BlockBytes - 1)
 
+// lane is one Slice's structural state, flattened into a single struct
+// so the per-instruction hot path (steering in particular) walks one
+// contiguous array instead of chasing parallel slices. The scalar
+// fields the steering loop reads sit first, in one cache line.
+type lane struct {
+	sl  *slice.Slice
+	l1i *mem.Cache
+	l1d *mem.Cache
+
+	win      []int64 // issue-time ring, IssueWindow deep
+	winPos   int
+	loads    []int64 // completion-time ring, MaxInflightLoads deep
+	loadPos  int
+	stores   []int64 // store-buffer drain-time ring
+	storePos int
+}
+
 // Sim is one virtual core executing one instruction stream.
 type Sim struct {
 	vc   *vcore.VCore
@@ -79,15 +96,16 @@ type Sim struct {
 	fetchCount int
 	lastIBlock uint64 // last fetched I-block (the fetch unit streams blocks)
 
-	// Per-Slice structural resources.
-	aluFree  []int64
-	lsuFree  []int64
-	loads    [][]int64 // completion-time ring, MaxInflightLoads deep
-	loadPos  []int
-	stores   [][]int64 // store-buffer drain-time ring
-	storePos []int
-	win      [][]int64 // issue-time ring, IssueWindow deep
-	winPos   []int
+	// Per-Slice structural resources. The three per-Slice scalars the
+	// steering scan reads — FU cursors and the cached next-window-slot
+	// free time (win[winPos], so the per-candidate probe is an array
+	// read, not a double-indexed ring lookup) — live in parallel fixed
+	// arrays rather than in lane: the whole scan state for all Slices
+	// then spans two host cache lines instead of one line per lane.
+	aluFree [vcore.MaxSlices]int64
+	lsuFree [vcore.MaxSlices]int64
+	winHead [vcore.MaxSlices]int64
+	lanes   []lane
 
 	// Shared structures.
 	rob    []int64 // commit-time ring, ROBSize*N deep
@@ -96,6 +114,19 @@ type Sim struct {
 	// opLat[p*n+k] is the operand-network latency from Slice p to Slice
 	// k, precomputed from the fabric layout at (re)configuration time.
 	opLat []int64
+
+	// Configuration-derived scalars, hoisted out of the per-instruction
+	// path at (re)configuration time.
+	l2       *mem.BankedL2
+	bwLimit  int   // FetchWidth*n: fetch and commit bandwidth per cycle
+	frontLat int64 // frontDepth (+ globalRenameSync when n > 1)
+	memDelay int64
+	// homeMask/homeShift replace the bank-interleave divide in locate
+	// when the Slice count is a power of two (the fallback divide only
+	// runs for n ∈ {3,5,6,7}).
+	homePow2  bool
+	homeShift uint
+	homeMask  uint64
 
 	// Commit cursors.
 	commitCycle int64
@@ -140,29 +171,30 @@ func MustNew(cfg vcore.Config, sliceCfg slice.Config, pol SteeringPolicy) *Sim {
 // marking every resource free at cycle `at`.
 func (s *Sim) rebuild(at int64) {
 	s.n = s.vc.Config().Slices
-	resize := func(p *[]int64) {
-		*p = (*p)[:0]
-		for i := 0; i < s.n; i++ {
-			*p = append(*p, at)
+	ring := func(depth int) []int64 {
+		r := make([]int64, depth)
+		for j := range r {
+			r[j] = at
+		}
+		return r
+	}
+	s.lanes = make([]lane, s.n)
+	for i := range s.lanes {
+		sl := s.vc.Slice(i)
+		s.lanes[i] = lane{
+			sl:     sl,
+			l1i:    sl.L1I,
+			l1d:    sl.L1D,
+			win:    ring(s.scfg.IssueWindow),
+			loads:  ring(s.scfg.MaxInflightLoads),
+			stores: ring(s.scfg.StoreBufferSize),
 		}
 	}
-	resize(&s.aluFree)
-	resize(&s.lsuFree)
-	resizeRing := func(rings *[][]int64, pos *[]int, depth int) {
-		*rings = (*rings)[:0]
-		*pos = (*pos)[:0]
-		for i := 0; i < s.n; i++ {
-			r := make([]int64, depth)
-			for j := range r {
-				r[j] = at
-			}
-			*rings = append(*rings, r)
-			*pos = append(*pos, 0)
-		}
+	for i := range s.aluFree {
+		s.aluFree[i] = at
+		s.lsuFree[i] = at
+		s.winHead[i] = at
 	}
-	resizeRing(&s.loads, &s.loadPos, s.scfg.MaxInflightLoads)
-	resizeRing(&s.stores, &s.storePos, s.scfg.StoreBufferSize)
-	resizeRing(&s.win, &s.winPos, s.scfg.IssueWindow)
 	s.rob = make([]int64, s.scfg.ROBSize*s.n)
 	for i := range s.rob {
 		s.rob[i] = at
@@ -174,6 +206,21 @@ func (s *Sim) rebuild(at int64) {
 		for k := 0; k < s.n; k++ {
 			s.opLat[p*s.n+k] = int64(noc.OperandLatency(s.vc.SliceDistance(p, k)))
 		}
+	}
+	s.l2 = s.vc.L2()
+	s.bwLimit = s.scfg.FetchWidth * s.n
+	s.frontLat = frontDepth
+	if s.n > 1 {
+		s.frontLat += globalRenameSync
+	}
+	s.memDelay = int64(s.scfg.MemDelay)
+	s.homePow2 = s.n&(s.n-1) == 0
+	s.homeShift, s.homeMask = 0, 0
+	if s.homePow2 {
+		for 1<<s.homeShift < s.n {
+			s.homeShift++
+		}
+		s.homeMask = uint64(s.n - 1)
 	}
 	if s.fetchCycle < at {
 		s.fetchCycle = at
@@ -235,7 +282,7 @@ func (s *Sim) CheckInvariants() error {
 		return fmt.Errorf("ssim: slice machinery (%d cached, %d live) disagrees with configuration %s",
 			s.n, len(s.vc.Slices()), cfg)
 	}
-	if len(s.aluFree) != s.n || len(s.lsuFree) != s.n || len(s.rob) != s.scfg.ROBSize*s.n {
+	if len(s.lanes) != s.n || len(s.rob) != s.scfg.ROBSize*s.n {
 		return fmt.Errorf("ssim: resource cursors not sized for %d Slices", s.n)
 	}
 	return nil
@@ -300,15 +347,30 @@ func (s *Sim) ForceShrink(to vcore.Config) (int64, error) {
 
 // Run executes up to maxInstrs instructions (or until the source is
 // exhausted) and returns how many committed and the cycles consumed.
+// The loop drains the staging buffer in batches — one bounds-checked
+// slice walk per refill instead of a pull-one-instruction call per
+// committed instruction.
 func (s *Sim) Run(src InstrSource, maxInstrs int64) (instrs, cycles int64) {
 	start := s.commitCycle
 	for instrs < maxInstrs {
-		in, ok := s.next(src)
-		if !ok {
+		batch := s.fill(src)
+		if len(batch) == 0 {
 			break
 		}
-		s.exec(in)
-		instrs++
+		if rem := maxInstrs - instrs; int64(len(batch)) > rem {
+			batch = batch[:rem]
+		}
+		if s.n == 1 {
+			for i := range batch {
+				s.exec1(&batch[i])
+			}
+		} else {
+			for i := range batch {
+				s.exec(&batch[i])
+			}
+		}
+		instrs += int64(len(batch))
+		s.bufI += len(batch)
 	}
 	return instrs, s.commitCycle - start
 }
@@ -317,17 +379,7 @@ func (s *Sim) Run(src InstrSource, maxInstrs int64) (instrs, cycles int64) {
 // advances by at least budget cycles, or the source is exhausted.
 // It returns the instructions committed and cycles consumed.
 func (s *Sim) RunCycles(src InstrSource, budget int64) (instrs, cycles int64) {
-	start := s.commitCycle
-	deadline := start + budget
-	for s.commitCycle < deadline {
-		in, ok := s.next(src)
-		if !ok {
-			break
-		}
-		s.exec(in)
-		instrs++
-	}
-	return instrs, s.commitCycle - start
+	return s.RunBudget(src, 1<<62, budget)
 }
 
 // RunBudget executes instructions until either maxInstrs commit or the
@@ -337,12 +389,35 @@ func (s *Sim) RunBudget(src InstrSource, maxInstrs, maxCycles int64) (instrs, cy
 	start := s.commitCycle
 	deadline := start + maxCycles
 	for instrs < maxInstrs && s.commitCycle < deadline {
-		in, ok := s.next(src)
-		if !ok {
+		batch := s.fill(src)
+		if len(batch) == 0 {
 			break
 		}
-		s.exec(in)
-		instrs++
+		if rem := maxInstrs - instrs; int64(len(batch)) > rem {
+			batch = batch[:rem]
+		}
+		// The deadline is re-checked after every instruction, exactly as
+		// the one-at-a-time loop did.
+		done := 0
+		if s.n == 1 {
+			for i := range batch {
+				s.exec1(&batch[i])
+				done++
+				if s.commitCycle >= deadline {
+					break
+				}
+			}
+		} else {
+			for i := range batch {
+				s.exec(&batch[i])
+				done++
+				if s.commitCycle >= deadline {
+					break
+				}
+			}
+		}
+		instrs += int64(done)
+		s.bufI += done
 	}
 	return instrs, s.commitCycle - start
 }
@@ -362,23 +437,21 @@ func (s *Sim) AdvanceIdle(cycles int64) {
 	}
 }
 
-// next pulls one instruction through the staging buffer.
-func (s *Sim) next(src InstrSource) (isa.Instr, bool) {
+// fill returns the staging buffer's unconsumed tail, refilling from the
+// source when it is empty. An empty result means the source is
+// exhausted. Callers advance s.bufI by however many entries they
+// consume.
+func (s *Sim) fill(src InstrSource) []isa.Instr {
 	if s.bufI >= s.bufN {
 		s.bufN = src.Next(s.buf)
 		s.bufI = 0
-		if s.bufN == 0 {
-			return isa.Instr{}, false
-		}
 	}
-	in := s.buf[s.bufI]
-	s.bufI++
-	return in, true
+	return s.buf[s.bufI:s.bufN]
 }
 
-// exec runs one instruction through the timing model.
-func (s *Sim) exec(in isa.Instr) {
-	cfg := s.scfg
+// exec runs one instruction through the timing model (n > 1 path; the
+// single-Slice case takes exec1).
+func (s *Sim) exec(in *isa.Instr) {
 	n := s.n
 
 	// --- Fetch ------------------------------------------------------
@@ -387,17 +460,13 @@ func (s *Sim) exec(in isa.Instr) {
 	// virtual core has proportionally more instruction-cache capacity.
 	if blk := in.PC & fetchBlockMask; blk != s.lastIBlock {
 		s.lastIBlock = blk
-		home := 0
-		iaddr := in.PC
-		if n > 1 {
-			home, iaddr = l1dLocate(in.PC, n)
-		}
-		if hit, _ := s.vc.Slice(home).L1I.Access(iaddr, false); !hit {
+		home, iaddr := s.locate(in.PC)
+		if hit, _ := s.lanes[home].l1i.Access(iaddr, false); !hit {
 			// L1I miss: probe the L2; a further miss goes to memory.
-			l2hit, delay, _ := s.vc.L2().Access(in.PC, false)
+			l2hit, delay, _ := s.l2.Access(in.PC, false)
 			stall := int64(delay)
 			if !l2hit {
-				stall += int64(cfg.MemDelay)
+				stall += s.memDelay
 			}
 			s.fetchCycle += stall
 			s.fetchCount = 0
@@ -411,31 +480,25 @@ func (s *Sim) exec(in isa.Instr) {
 	}
 	fetch := s.fetchCycle
 	s.fetchCount++
-	if s.fetchCount >= cfg.FetchWidth*n {
+	if s.fetchCount >= s.bwLimit {
 		s.fetchCycle++
 		s.fetchCount = 0
 	}
 
-	dispatch := fetch + frontDepth
-	if n > 1 {
-		dispatch += globalRenameSync
-	}
+	dispatch := fetch + s.frontLat
 
 	// --- Steering & sources -----------------------------------------
+	// The loads are unconditional: regReady[RegZero] is never written
+	// (the writeback below is guarded), so a missing source reads the
+	// same r = 0 the explicit RegZero test produced — and with r = 0 the
+	// producer index is never consulted.
 	src1, src2 := in.Src1, in.Src2
-	var r1, r2 int64
-	p1, p2 := -1, -1
-	if src1 != isa.RegZero {
-		r1 = s.regReady[src1]
-		p1 = int(s.regProd[src1])
-	}
-	if src2 != isa.RegZero {
-		r2 = s.regReady[src2]
-		p2 = int(s.regProd[src2])
-	}
+	r1, r2 := s.regReady[src1], s.regReady[src2]
+	p1, p2 := int(s.regProd[src1]), int(s.regProd[src2])
 
 	k := s.steer(dispatch, r1, r2, p1, p2, in.Op)
-	sl := s.vc.Slice(k)
+	ln := &s.lanes[k]
+	sl := ln.sl
 
 	// Operand-network transfers for remote sources (and rename
 	// bookkeeping via the virtual core's global register protocol).
@@ -455,30 +518,19 @@ func (s *Sim) exec(in isa.Instr) {
 	// --- Issue -------------------------------------------------------
 	// Window slot: reuses the entry of the instruction IssueWindow back
 	// on this Slice, freed when that instruction issued.
-	start := dispatch
-	if wfree := s.win[k][s.winPos[k]]; wfree > start {
-		start = wfree
-	}
-	if r1 > start {
-		start = r1
-	}
-	if r2 > start {
-		start = r2
-	}
+	start := max(dispatch, s.winHead[k], r1, r2)
 
 	var done int64
 	switch in.Op {
 	case isa.OpLoad:
-		start, done = s.execLoad(in, k, start, sl)
+		start, done = s.execLoad(in.Addr, k, start, ln)
 	case isa.OpStore:
-		start = s.execStore(in, k, start, sl)
+		start = s.execStore(in.Addr, k, start, ln)
 		done = start // stores produce no value; commit waits for issue only
 	case isa.OpNop:
 		done = start
 	default:
-		if a := s.aluFree[k]; a > start {
-			start = a
-		}
+		start = max(start, s.aluFree[k])
 		lat := int64(in.Op.Latency())
 		done = start + lat
 		if in.Op == isa.OpDiv {
@@ -488,8 +540,12 @@ func (s *Sim) exec(in isa.Instr) {
 		}
 	}
 
-	s.win[k][s.winPos[k]] = start
-	s.winPos[k] = (s.winPos[k] + 1) % cfg.IssueWindow
+	ln.win[ln.winPos] = start
+	ln.winPos++
+	if ln.winPos == len(ln.win) {
+		ln.winPos = 0
+	}
+	s.winHead[k] = ln.win[ln.winPos]
 
 	// --- Writeback ----------------------------------------------------
 	if in.Dst != isa.RegZero {
@@ -502,7 +558,7 @@ func (s *Sim) exec(in isa.Instr) {
 	if in.Op == isa.OpBranch {
 		if in.Mispredict {
 			sl.Counters.BranchMispredicts++
-			penalty := int64(cfg.MispredictPenalty)
+			penalty := int64(s.scfg.MispredictPenalty)
 			// Multi-Slice fetch must re-synchronize across the fetch &
 			// BTB sync network (Fig 4) after a squash.
 			penalty += 2 * int64(n-1)
@@ -510,7 +566,7 @@ func (s *Sim) exec(in isa.Instr) {
 				s.fetchCycle = t
 				s.fetchCount = 0
 			}
-		} else if in.Taken && n > 1 {
+		} else if in.Taken {
 			// Correctly-predicted taken branch: the distributed fetch
 			// group still realigns to the new target across n Slices.
 			s.fetchCycle += int64((n - 1) / 2)
@@ -518,22 +574,125 @@ func (s *Sim) exec(in isa.Instr) {
 		}
 	}
 
-	// --- Commit --------------------------------------------------------
-	c := done + 1
-	if c < s.commitCycle {
-		c = s.commitCycle
+	s.commit(done, sl)
+}
+
+// exec1 is the single-Slice specialization of exec: no steering loop,
+// no L1D bank interleave (l1dLocate is the identity at n == 1), no
+// operand-network terms (every producer is local, so transfer hops are
+// structurally zero), no fetch-group realignment, and no global-rename
+// synchronization cycle. The register-protocol calls remain — rename
+// state must be exactly what a later expansion to n > 1 would observe.
+func (s *Sim) exec1(in *isa.Instr) {
+	ln := &s.lanes[0]
+
+	// --- Fetch ------------------------------------------------------
+	if blk := in.PC & fetchBlockMask; blk != s.lastIBlock {
+		s.lastIBlock = blk
+		if hit, _ := ln.l1i.Access(in.PC, false); !hit {
+			l2hit, delay, _ := s.l2.Access(in.PC, false)
+			stall := int64(delay)
+			if !l2hit {
+				stall += s.memDelay
+			}
+			s.fetchCycle += stall
+			s.fetchCount = 0
+		}
 	}
+	if free := s.rob[s.robPos]; free > s.fetchCycle {
+		s.fetchCycle = free
+		s.fetchCount = 0
+	}
+	fetch := s.fetchCycle
+	s.fetchCount++
+	if s.fetchCount >= s.bwLimit {
+		s.fetchCycle++
+		s.fetchCount = 0
+	}
+
+	dispatch := fetch + frontDepth
+
+	// --- Sources ------------------------------------------------------
+	// Producers are always Slice 0, so readiness needs no transfer
+	// terms; the rename bookkeeping still runs for its side effects.
+	src1, src2 := in.Src1, in.Src2
+	var r1, r2 int64
+	if src1 != isa.RegZero {
+		r1 = s.regReady[src1]
+		s.vc.RecordRead(src1, 0)
+	}
+	if src2 != isa.RegZero {
+		r2 = s.regReady[src2]
+		s.vc.RecordRead(src2, 0)
+	}
+
+	// --- Issue -------------------------------------------------------
+	start := max(dispatch, s.winHead[0], r1, r2)
+
+	var done int64
+	switch in.Op {
+	case isa.OpLoad:
+		start, done = s.execLoad1(in.Addr, start, ln)
+	case isa.OpStore:
+		start = s.execStore1(in.Addr, start, ln)
+		done = start
+	case isa.OpNop:
+		done = start
+	default:
+		start = max(start, s.aluFree[0])
+		done = start + int64(in.Op.Latency())
+		if in.Op == isa.OpDiv {
+			s.aluFree[0] = done
+		} else {
+			s.aluFree[0] = start + 1
+		}
+	}
+
+	ln.win[ln.winPos] = start
+	ln.winPos++
+	if ln.winPos == len(ln.win) {
+		ln.winPos = 0
+	}
+	s.winHead[0] = ln.win[ln.winPos]
+
+	// --- Writeback ----------------------------------------------------
+	if in.Dst != isa.RegZero {
+		s.vc.RecordWrite(in.Dst, 0)
+		s.regReady[in.Dst] = done
+		s.regProd[in.Dst] = 0
+	}
+
+	// --- Branch resolution --------------------------------------------
+	if in.Op == isa.OpBranch && in.Mispredict {
+		ln.sl.Counters.BranchMispredicts++
+		if t := done + int64(s.scfg.MispredictPenalty); t > s.fetchCycle {
+			s.fetchCycle = t
+			s.fetchCount = 0
+		}
+	}
+
+	s.commit(done, ln.sl)
+}
+
+// commit retires one instruction whose execution completed at `done`,
+// advancing the committed-work clock under the commit-bandwidth limit
+// and recording the freed ROB slot.
+func (s *Sim) commit(done int64, sl *slice.Slice) {
+	c := max(done+1, s.commitCycle)
 	if c > s.commitCycle {
 		s.commitCycle = c
 		s.commitCount = 0
 	}
 	s.commitCount++
-	if s.commitCount >= cfg.FetchWidth*n {
+	if s.commitCount >= s.bwLimit {
 		s.commitCycle++
 		s.commitCount = 0
 	}
 	s.rob[s.robPos] = c
-	s.robPos = (s.robPos + 1) % len(s.rob)
+	s.robPos++
+	if s.robPos == len(s.rob) {
+		s.robPos = 0
+	}
 
 	sl.Counters.Committed++
 	s.committed++
@@ -541,39 +700,65 @@ func (s *Sim) exec(in isa.Instr) {
 
 // execLoad models a load on Slice k starting no earlier than `start`.
 // It returns the actual issue time and the completion time.
-func (s *Sim) execLoad(in isa.Instr, k int, start int64, sl *slice.Slice) (int64, int64) {
-	if f := s.lsuFree[k]; f > start {
-		start = f
-	}
+func (s *Sim) execLoad(addr uint64, k int, start int64, ln *lane) (int64, int64) {
 	// In-flight load limit: reuse the slot of the load MaxInflightLoads
 	// back on this Slice.
-	if lfree := s.loads[k][s.loadPos[k]]; lfree > start {
-		start = lfree
-	}
+	start = max(start, s.lsuFree[k], ln.loads[ln.loadPos])
 	s.lsuFree[k] = start + 1
 
-	lat := s.dataAccess(in.Addr, k, false, sl)
+	lat := s.dataAccess(addr, k, false, ln.sl)
 	done := start + lat
-	s.loads[k][s.loadPos[k]] = done
-	s.loadPos[k] = (s.loadPos[k] + 1) % s.scfg.MaxInflightLoads
+	ln.loads[ln.loadPos] = done
+	ln.loadPos++
+	if ln.loadPos == len(ln.loads) {
+		ln.loadPos = 0
+	}
 	return start, done
 }
 
 // execStore models a store on Slice k. The store retires into the
 // store buffer at issue and drains to the memory system in the
 // background; a full store buffer stalls issue.
-func (s *Sim) execStore(in isa.Instr, k int, start int64, sl *slice.Slice) int64 {
-	if f := s.lsuFree[k]; f > start {
-		start = f
-	}
-	if sfree := s.stores[k][s.storePos[k]]; sfree > start {
-		start = sfree
-	}
+func (s *Sim) execStore(addr uint64, k int, start int64, ln *lane) int64 {
+	start = max(start, s.lsuFree[k], ln.stores[ln.storePos])
 	s.lsuFree[k] = start + 1
 
-	lat := s.dataAccess(in.Addr, k, true, sl)
-	s.stores[k][s.storePos[k]] = start + lat
-	s.storePos[k] = (s.storePos[k] + 1) % s.scfg.StoreBufferSize
+	lat := s.dataAccess(addr, k, true, ln.sl)
+	ln.stores[ln.storePos] = start + lat
+	ln.storePos++
+	if ln.storePos == len(ln.stores) {
+		ln.storePos = 0
+	}
+	return start
+}
+
+// execLoad1 and execStore1 are the n == 1 memory paths: the home bank
+// is always Slice 0's L1D and the bank-local address is the address
+// itself, so the interleave math and the remote-bank hop test drop out.
+func (s *Sim) execLoad1(addr uint64, start int64, ln *lane) (int64, int64) {
+	start = max(start, s.lsuFree[0], ln.loads[ln.loadPos])
+	s.lsuFree[0] = start + 1
+
+	lat := s.dataAccess1(addr, false, ln)
+	done := start + lat
+	ln.loads[ln.loadPos] = done
+	ln.loadPos++
+	if ln.loadPos == len(ln.loads) {
+		ln.loadPos = 0
+	}
+	return start, done
+}
+
+func (s *Sim) execStore1(addr uint64, start int64, ln *lane) int64 {
+	start = max(start, s.lsuFree[0], ln.stores[ln.storePos])
+	s.lsuFree[0] = start + 1
+
+	lat := s.dataAccess1(addr, true, ln)
+	ln.stores[ln.storePos] = start + lat
+	ln.storePos++
+	if ln.storePos == len(ln.stores) {
+		ln.storePos = 0
+	}
 	return start
 }
 
@@ -584,13 +769,12 @@ func (s *Sim) execStore(in isa.Instr, k int, start int64, sl *slice.Slice) int64
 // (§VI-A) while L2 reconfiguration pays the dirty flush.
 func (s *Sim) dataAccess(addr uint64, k int, write bool, sl *slice.Slice) int64 {
 	n := s.n
-	bank, bankAddr := l1dLocate(addr, n)
+	bank, bankAddr := s.locate(addr)
 	lat := int64(mem.L1HitDelay)
 	if bank != k {
 		lat += s.opLat[k*n+bank]
 	}
-	home := s.vc.Slice(bank)
-	l1hit, _ := home.L1D.Access(bankAddr, false)
+	l1hit, _ := s.lanes[bank].l1d.Access(bankAddr, false)
 	if l1hit && !write {
 		return lat
 	}
@@ -598,15 +782,50 @@ func (s *Sim) dataAccess(addr uint64, k int, write bool, sl *slice.Slice) int64 
 		sl.Counters.L1DMisses++
 	}
 	// L1 miss (or write-through store): access the L2.
-	l2hit, delay, _ := s.vc.L2().Access(addr, write)
+	l2hit, delay, _ := s.l2.Access(addr, write)
 	if !l1hit {
 		lat += int64(delay)
 		if !l2hit {
 			sl.Counters.L2Misses++
-			lat += int64(s.scfg.MemDelay)
+			lat += s.memDelay
 		}
 	}
 	return lat
+}
+
+// dataAccess1 is dataAccess for n == 1: home bank 0, no interleave, no
+// remote-bank hop.
+func (s *Sim) dataAccess1(addr uint64, write bool, ln *lane) int64 {
+	lat := int64(mem.L1HitDelay)
+	l1hit, _ := ln.l1d.Access(addr, false)
+	if l1hit && !write {
+		return lat
+	}
+	if !l1hit {
+		ln.sl.Counters.L1DMisses++
+	}
+	l2hit, delay, _ := s.l2.Access(addr, write)
+	if !l1hit {
+		lat += int64(delay)
+		if !l2hit {
+			ln.sl.Counters.L2Misses++
+			lat += s.memDelay
+		}
+	}
+	return lat
+}
+
+// locate is l1dLocate with the interleave divide replaced by the
+// precomputed power-of-two mask/shift when the Slice count allows it.
+// The returned bank-local address is block-aligned rather than carrying
+// the raw low bits; every consumer indexes caches at block granularity,
+// so the two forms are interchangeable.
+func (s *Sim) locate(addr uint64) (bank int, bankAddr uint64) {
+	if s.homePow2 {
+		block := addr / mem.BlockBytes
+		return int(block & s.homeMask), (block >> s.homeShift) * mem.BlockBytes
+	}
+	return l1dLocate(addr, s.n)
 }
 
 // l1dLocate maps a data address to its home Slice's L1D bank and the
@@ -623,6 +842,10 @@ func l1dLocate(addr uint64, n int) (bank int, bankAddr uint64) {
 	return int(block % un), (block / un) * mem.BlockBytes
 }
 
+// zeroRow stands in for a producer's opLat row when the source has no
+// pending producer, letting steer's scan add row[k] unconditionally.
+var zeroRow [vcore.MaxSlices]int64
+
 // steer picks the executing Slice for an instruction.
 func (s *Sim) steer(dispatch, r1, r2 int64, p1, p2 int, op isa.Op) int {
 	n := s.n
@@ -630,47 +853,95 @@ func (s *Sim) steer(dispatch, r1, r2 int64, p1, p2 int, op isa.Op) int {
 		return 0
 	}
 	if s.pol == SteerRoundRobin {
-		k := int(s.committed) % n
-		return k
+		// Reduce in int64 first: narrowing s.committed to int before the
+		// modulo truncates on 32-bit platforms and can go negative, which
+		// would index out of range on long runs.
+		return int(s.committed % int64(n))
 	}
 	// Greedy earliest-start: for each candidate Slice, estimate when
 	// the instruction could begin (operand transfers + FU availability)
 	// and pick the earliest; ties go to the least-loaded.
+	//
+	// No-pending-source instructions (the common case — a source whose
+	// producer already completed has readiness 0 here) depend only on
+	// one FU cursor and the window head per lane, so they get dedicated
+	// scans without the operand-transfer arithmetic.
+	// The builtin max lowers to conditional moves: every compare below is
+	// against data-dependent cycle counts, so branching on them would
+	// mispredict roughly half the time in this — the hottest — loop.
+	wh := s.winHead[:n]
+	if r1 == 0 && r2 == 0 {
+		best, bestStart := 0, int64(1<<62)
+		switch {
+		case op.IsMem():
+			lsu := s.lsuFree[:n]
+			for k := range wh {
+				t := max(dispatch, lsu[k], wh[k])
+				if t < bestStart {
+					best, bestStart = k, t
+				}
+			}
+		case op.UsesALU():
+			alu := s.aluFree[:n]
+			for k := range wh {
+				t := max(dispatch, alu[k], wh[k])
+				if t < bestStart {
+					best, bestStart = k, t
+				}
+			}
+		default:
+			for k := range wh {
+				t := max(dispatch, wh[k])
+				if t < bestStart {
+					best, bestStart = k, t
+				}
+			}
+		}
+		return best
+	}
+	// General path: the per-producer opLat rows and the op-class
+	// predicates are loop-invariant, so they are hoisted out of the
+	// candidate scan. An absent source is folded in branchlessly: its
+	// readiness is forced to a large negative value (and its row to the
+	// shared zero row) so the max() contribution is a no-op.
+	a1, a2 := int64(-1)<<62, int64(-1)<<62
+	row1, row2 := zeroRow[:n], zeroRow[:n]
+	if r1 > 0 {
+		a1 = r1
+		if p1 >= 0 && p1 < n {
+			row1 = s.opLat[p1*n : p1*n+n]
+		}
+	}
+	if r2 > 0 {
+		a2 = r2
+		if p2 >= 0 && p2 < n {
+			row2 = s.opLat[p2*n : p2*n+n]
+		}
+	}
 	best, bestStart := 0, int64(1<<62)
-	for k := 0; k < n; k++ {
-		t := dispatch
-		if r1 > 0 {
-			rr := r1
-			if p1 >= 0 && p1 < n {
-				rr += s.opLat[p1*n+k]
-			}
-			if rr > t {
-				t = rr
+	switch {
+	case op.IsMem():
+		lsu := s.lsuFree[:n]
+		for k := range wh {
+			t := max(dispatch, a1+row1[k], a2+row2[k], wh[k], lsu[k])
+			if t < bestStart {
+				best, bestStart = k, t
 			}
 		}
-		if r2 > 0 {
-			rr := r2
-			if p2 >= 0 && p2 < n {
-				rr += s.opLat[p2*n+k]
+	case op.UsesALU():
+		alu := s.aluFree[:n]
+		for k := range wh {
+			t := max(dispatch, a1+row1[k], a2+row2[k], wh[k], alu[k])
+			if t < bestStart {
+				best, bestStart = k, t
 			}
-			if rr > t {
-				t = rr
+		}
+	default:
+		for k := range wh {
+			t := max(dispatch, a1+row1[k], a2+row2[k], wh[k])
+			if t < bestStart {
+				best, bestStart = k, t
 			}
-		}
-		var fu int64
-		if op.IsMem() {
-			fu = s.lsuFree[k]
-		} else if op.UsesALU() {
-			fu = s.aluFree[k]
-		}
-		if fu > t {
-			t = fu
-		}
-		if wfree := s.win[k][s.winPos[k]]; wfree > t {
-			t = wfree
-		}
-		if t < bestStart {
-			best, bestStart = k, t
 		}
 	}
 	return best

@@ -140,18 +140,14 @@ func (v *VCore) RecordRead(g isa.Reg, s int) (hops int) {
 	if g == isa.RegZero {
 		return 0
 	}
-	if _, _, ok := v.slices[s].Rename.Lookup(g); ok {
+	if v.slices[s].Rename.ReadIn(g, v.version[g]) {
 		return 0
 	}
 	p := v.primary[g]
-	if p < 0 || p >= len(v.slices) {
-		// Value predates the current composition; it is materialized
-		// from the global namespace without inter-Slice traffic.
-		v.slices[s].Rename.CopyIn(g, v.version[g])
-		return 0
-	}
-	v.slices[s].Rename.CopyIn(g, v.version[g])
-	if p == s {
+	if p < 0 || p >= len(v.slices) || p == s {
+		// No live remote producer: either the value predates the
+		// current composition (materialized from the global namespace
+		// without inter-Slice traffic) or this Slice produced it.
 		return 0
 	}
 	return v.SliceDistance(p, s)

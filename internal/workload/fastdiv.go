@@ -1,0 +1,49 @@
+package workload
+
+import "math/bits"
+
+// fastMod computes x % d for a divisor fixed at construction time,
+// replacing the hardware divide (tens of cycles, unpipelined) with
+// three multiplies. The generator's address regions, code sizes and
+// dependence-distance bound are all per-phase constants, and sampling
+// draws a modulo for most instructions, so the divides show up directly
+// in simulator throughput.
+//
+// This is Lemire, Kaser & Kurz's "faster remainder by direct
+// computation": precompute c = ⌊2^128/d⌋ + 1; then
+//
+//	x mod d = ⌊((c·x) mod 2^128) · d / 2^128⌋
+//
+// which is exact for every 64-bit x and d, since 128 fractional bits
+// cover the worst case (F ≥ N + ⌈log₂ d⌉ with N = 64 and d < 2^64).
+// TestFastModMatchesModulo exercises the boundary cases; the golden
+// generator tests pin the end-to-end stream.
+type fastMod struct {
+	chi, clo uint64 // c = ⌊2^128/d⌋ + 1, a 128-bit constant
+	d        uint64
+}
+
+// newFastMod prepares the constants for divisor d. d must be positive.
+func newFastMod(d uint64) fastMod {
+	// ⌊(2^128 - 1)/d⌋ by 128/64 long division, then +1. (2^128 - 1 and
+	// 2^128 have the same floor quotient unless d divides 2^128, i.e.
+	// d is a power of two — and then the +1 result still satisfies the
+	// c ≥ 2^128/d > c-1 bound the method needs.)
+	qh := ^uint64(0) / d
+	rh := ^uint64(0) % d
+	ql, _ := bits.Div64(rh, ^uint64(0), d)
+	clo, carry := bits.Add64(ql, 1, 0)
+	return fastMod{chi: qh + carry, clo: clo, d: d}
+}
+
+// mod returns x % d.
+func (f fastMod) mod(x uint64) uint64 {
+	// lowbits = (c·x) mod 2^128.
+	p1h, p1l := bits.Mul64(f.clo, x)
+	lh := p1h + f.chi*x
+	// remainder = (lowbits·d) >> 128.
+	t1h, _ := bits.Mul64(p1l, f.d)
+	t2h, t2l := bits.Mul64(lh, f.d)
+	_, carry := bits.Add64(t2l, t1h, 0)
+	return t2h + carry
+}

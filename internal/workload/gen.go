@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"cash/internal/isa"
 )
@@ -78,7 +79,7 @@ func (g *Gen) Next(buf []isa.Instr) int {
 		n = left
 	}
 	for i := int64(0); i < n; i++ {
-		buf[i] = g.pg.gen(&g.r)
+		g.pg.gen(&g.r, &buf[i])
 	}
 	g.phaseInstr += n
 	g.total += n
@@ -113,7 +114,7 @@ func NewPhaseGen(p Phase, phaseIndex int, seed uint64) *PhaseGen {
 // Next fills buf and returns len(buf); a phase stream never ends.
 func (g *PhaseGen) Next(buf []isa.Instr) int {
 	for i := range buf {
-		buf[i] = g.pg.gen(&g.r)
+		g.pg.gen(&g.r, &buf[i])
 	}
 	return len(buf)
 }
@@ -124,6 +125,21 @@ type phaseGen struct {
 
 	// Cumulative mix thresholds, scaled to uint64 for branch-free pick.
 	thrALU, thrMul, thrDiv, thrFPU, thrLoad, thrStore uint64
+
+	// opTab[u>>56] resolves the op-class draw with one predictable load
+	// when every draw sharing that top byte lands in the same threshold
+	// interval; the handful of buckets containing a threshold hold
+	// opAmbiguous and fall back to the compare cascade. The cascade's
+	// branches follow the (random) draw, so they mispredict roughly
+	// half the time — the table removes them for ~97% of draws.
+	opTab [256]uint8
+
+	// Per-phase probability thresholds in 53-bit draw space: comparing
+	// the next draw's top 53 bits against one of these is bit-identical
+	// to the seed's `r.float64() < frac` (see fracThreshold) while
+	// skipping the int→float conversion and division per sample.
+	thrDep, thrSecond, thrMispredict uint64
+	thrHot, thrMid, thrStream        uint64
 
 	// Dependence bookkeeping: ring of the most recent destination
 	// registers, so a sampled dependence distance resolves to a concrete
@@ -143,6 +159,12 @@ type phaseGen struct {
 	streamPos  uint64
 	depDistMax int64 // dependence distances sampled uniformly in [1, depDistMax]
 
+	// Per-phase-constant divisors as precomputed magic-number
+	// remainders: address sampling takes a modulo on most instructions,
+	// and the hardware divide it replaced was among the costliest single
+	// instructions on the simulator's hot path.
+	fmHot, fmMid, fmMain, fmCode, fmHotCode, fmDep fastMod
+
 	// Instruction-address state. Code lives in its own region sized
 	// from the data footprint (big-footprint codes like gcc also have
 	// big instruction footprints); branches mostly jump within a small
@@ -161,6 +183,22 @@ const (
 	hotCodeKB     = 8   // hot loop body size
 	takenFrac     = 0.55
 	hotTargetFrac = 0.95
+)
+
+// fracThreshold maps a probability f in [0,1] to the threshold t for
+// which `r.next()>>11 < t` decides exactly like the seed generator's
+// `r.float64() < f` on the same draw. rng.float64 is float64(k)/2^53
+// with k = next()>>11 < 2^53; both k and the power-of-two scaling are
+// exact in float64, so `float64(k)/2^53 < f` ⇔ `k < f·2^53` as reals ⇔
+// `k < ceil(f·2^53)` — bit-identical decisions, no float conversion.
+func fracThreshold(f float64) uint64 {
+	return uint64(math.Ceil(f * (1 << 53)))
+}
+
+// Shared-constant thresholds, computed once.
+var (
+	thrTaken     = fracThreshold(takenFrac)
+	thrHotTarget = fracThreshold(hotTargetFrac)
 )
 
 // Region is a contiguous address range touched by a phase.
@@ -230,6 +268,21 @@ func (pg *phaseGen) init(p *Phase, phaseIndex int) {
 	pg.thrFPU = cum(m.FPU)
 	pg.thrLoad = cum(m.Load)
 	pg.thrStore = cum(m.Store)
+	for b := 0; b < 256; b++ {
+		lo, hi := uint64(b)<<56, uint64(b)<<56|(1<<56-1)
+		if op := pg.opFor(lo); op == pg.opFor(hi) {
+			pg.opTab[b] = uint8(op)
+		} else {
+			pg.opTab[b] = opAmbiguous
+		}
+	}
+
+	pg.thrDep = fracThreshold(p.DepFrac)
+	pg.thrSecond = fracThreshold(p.SecondSrcFrac)
+	pg.thrMispredict = fracThreshold(p.MispredictRate)
+	pg.thrHot = fracThreshold(p.HotFrac)
+	pg.thrMid = fracThreshold(p.MidFrac)
+	pg.thrStream = fracThreshold(p.StreamFrac)
 
 	pg.recentLen = 0
 	pg.recentPos = 0
@@ -237,51 +290,74 @@ func (pg *phaseGen) init(p *Phase, phaseIndex int) {
 
 	// Each phase gets its own 256MB-aligned address region so phase
 	// transitions naturally incur cold misses.
-	rg0 := p.Regions(phaseIndex)
-	pg.hotBase = rg0.Hot.Base
-	pg.hotSize = rg0.Hot.Size
-	pg.midBase = rg0.Mid.Base
-	pg.midSize = rg0.Mid.Size
-	pg.mainBase = rg0.Main.Base
-	pg.mainSize = rg0.Main.Size
+	rg := p.Regions(phaseIndex)
+	pg.hotBase = rg.Hot.Base
+	pg.hotSize = rg.Hot.Size
+	pg.midBase = rg.Mid.Base
+	pg.midSize = rg.Mid.Size
+	pg.mainBase = rg.Main.Base
+	pg.mainSize = rg.Main.Size
 	pg.streamPos = 0
 	pg.depDistMax = int64(2*p.MeanDepDist) - 1
 	if pg.depDistMax < 1 {
 		pg.depDistMax = 1
 	}
 
-	rg := p.Regions(phaseIndex)
 	pg.codeBase = rg.Code.Base
 	pg.codeSize = rg.Code.Size
 	pg.hotCode = rg.HotCode.Size
 	pg.pc = pg.codeBase
+
+	pg.fmHot = newFastMod(pg.hotSize)
+	if pg.midSize > 0 {
+		pg.fmMid = newFastMod(pg.midSize)
+	}
+	pg.fmMain = newFastMod(pg.mainSize)
+	pg.fmCode = newFastMod(pg.codeSize)
+	pg.fmHotCode = newFastMod(pg.hotCode)
+	pg.fmDep = newFastMod(uint64(pg.depDistMax))
 }
 
-// gen produces one instruction.
-func (pg *phaseGen) gen(r *rng) isa.Instr {
-	var in isa.Instr
-	u := r.next()
+// opAmbiguous marks an opTab bucket that a mix threshold splits.
+const opAmbiguous = 0xFF
+
+// opFor is the reference op-class decision for a draw, used to build
+// opTab and to resolve its ambiguous buckets.
+func (pg *phaseGen) opFor(u uint64) isa.Op {
 	switch {
 	case u < pg.thrALU:
-		in.Op = isa.OpALU
+		return isa.OpALU
 	case u < pg.thrMul:
-		in.Op = isa.OpMul
+		return isa.OpMul
 	case u < pg.thrDiv:
-		in.Op = isa.OpDiv
+		return isa.OpDiv
 	case u < pg.thrFPU:
-		in.Op = isa.OpFPU
+		return isa.OpFPU
 	case u < pg.thrLoad:
-		in.Op = isa.OpLoad
+		return isa.OpLoad
 	case u < pg.thrStore:
-		in.Op = isa.OpStore
+		return isa.OpStore
 	default:
-		in.Op = isa.OpBranch
+		return isa.OpBranch
+	}
+}
+
+// gen produces one instruction in place, overwriting *in entirely.
+// Filling the caller's buffer slot directly keeps the staging-buffer
+// fill loop free of per-instruction struct copies.
+func (pg *phaseGen) gen(r *rng, in *isa.Instr) {
+	*in = isa.Instr{}
+	u := r.next()
+	if op := pg.opTab[u>>56]; op != opAmbiguous {
+		in.Op = isa.Op(op)
+	} else {
+		in.Op = pg.opFor(u)
 	}
 
 	// Source dependences.
-	if r.float64() < pg.p.DepFrac {
+	if r.bits53() < pg.thrDep {
 		in.Src1 = pg.depReg(r)
-		if r.float64() < pg.p.SecondSrcFrac {
+		if r.bits53() < pg.thrSecond {
 			in.Src2 = pg.depReg(r)
 		}
 	}
@@ -297,20 +373,20 @@ func (pg *phaseGen) gen(r *rng) isa.Instr {
 			in.Src1 = pg.depReg(r)
 		}
 	case isa.OpBranch:
-		in.Mispredict = r.float64() < pg.p.MispredictRate
+		in.Mispredict = r.bits53() < pg.thrMispredict
 	default:
 		in.Dst = pg.allocDst()
 	}
 
 	in.PC = pg.pc
-	if in.Op == isa.OpBranch && r.float64() < takenFrac {
+	if in.Op == isa.OpBranch && r.bits53() < thrTaken {
 		in.Taken = true
 		// Taken branch: usually back into the hot loop body, sometimes
 		// across the whole code region (call/return, cold paths).
-		if r.float64() < hotTargetFrac {
-			pg.pc = pg.codeBase + (r.next()%pg.hotCode)&^3
+		if r.bits53() < thrHotTarget {
+			pg.pc = pg.codeBase + pg.fmHotCode.mod(r.next())&^3
 		} else {
-			pg.pc = pg.codeBase + (r.next()%pg.codeSize)&^3
+			pg.pc = pg.codeBase + pg.fmCode.mod(r.next())&^3
 		}
 	} else {
 		pg.pc += 4
@@ -318,7 +394,6 @@ func (pg *phaseGen) gen(r *rng) isa.Instr {
 			pg.pc = pg.codeBase
 		}
 	}
-	return in
 }
 
 // depReg resolves a sampled dependence distance to a recent producer.
@@ -326,7 +401,7 @@ func (pg *phaseGen) depReg(r *rng) isa.Reg {
 	if pg.recentLen == 0 {
 		return isa.RegZero
 	}
-	d := 1 + r.intn(pg.depDistMax)
+	d := 1 + int64(pg.fmDep.mod(r.next()))
 	if d > int64(pg.recentLen) {
 		d = int64(pg.recentLen)
 	}
@@ -359,18 +434,18 @@ func (pg *phaseGen) allocDst() isa.Reg {
 
 // genAddr produces a data address according to the phase's locality model.
 func (pg *phaseGen) genAddr(r *rng) uint64 {
-	if r.float64() < pg.p.HotFrac {
-		return pg.hotBase + (r.next()%pg.hotSize)&^7
+	if r.bits53() < pg.thrHot {
+		return pg.hotBase + pg.fmHot.mod(r.next())&^7
 	}
-	if pg.midSize > 0 && r.float64() < pg.p.MidFrac {
-		return pg.midBase + (r.next()%pg.midSize)&^7
+	if pg.midSize > 0 && r.bits53() < pg.thrMid {
+		return pg.midBase + pg.fmMid.mod(r.next())&^7
 	}
-	if r.float64() < pg.p.StreamFrac {
+	if r.bits53() < pg.thrStream {
 		pg.streamPos += uint64(pg.p.Stride)
 		if pg.streamPos >= pg.mainSize {
 			pg.streamPos = 0
 		}
 		return pg.mainBase + pg.streamPos&^7
 	}
-	return pg.mainBase + (r.next()%pg.mainSize)&^7
+	return pg.mainBase + pg.fmMain.mod(r.next())&^7
 }

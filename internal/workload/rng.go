@@ -31,6 +31,13 @@ func (r *rng) float64() float64 {
 	return float64(r.next()>>11) / (1 << 53)
 }
 
+// bits53 returns the top 53 bits of the next draw — the integer the
+// seed generator fed to float64(). Comparing it against a fracThreshold
+// decides identically to `float64() < frac` without the conversion.
+func (r *rng) bits53() uint64 {
+	return r.next() >> 11
+}
+
 // intn returns a uniform value in [0, n). n must be positive.
 func (r *rng) intn(n int64) int64 {
 	return int64(r.next() % uint64(n))
