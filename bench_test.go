@@ -13,12 +13,15 @@ package cash
 // and later ones do not. `cashsim -scale 1 all` runs the full thing.
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"testing"
 
 	"cash/internal/figs"
+	"cash/internal/oracle"
+	"cash/internal/par"
 	"cash/internal/ssim"
 	"cash/internal/vcore"
 	"cash/internal/workload"
@@ -172,6 +175,33 @@ func BenchmarkAblation_SimThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkOracle_ColdSweep measures the brute-force characterisation
+// of one application over the full 64-configuration space (§V-C) with a
+// cold cache, at several sweep-worker budgets. ns/op is the cold-sweep
+// wall-clock; the "workers" metric records the budget so BENCH.json
+// carries the scaling curve. The swept Char values are byte-identical
+// at every worker count — parallelism only changes wall-clock.
+func BenchmarkOracle_ColdSweep(b *testing.B) {
+	app, ok := workload.ByName("hmmer")
+	if !ok {
+		b.Fatal("hmmer missing from the suite")
+	}
+	// A quarter of the usual benchmark scale keeps the 64-config sweep
+	// affordable while leaving enough work per config to parallelize.
+	app = app.Scale(0.25 * benchScale())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := par.New(workers)
+			for i := 0; i < b.N; i++ {
+				db := oracle.NewDB()
+				db.Pool = pool
+				db.CharacterizeApp(app)
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
 }
 
 // BenchmarkAblation_Steering compares the dependence-aware steering

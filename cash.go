@@ -221,6 +221,13 @@ type ReproduceOptions struct {
 	// Jobs bounds how many cells run in parallel (0 or 1 = sequential).
 	// The report is byte-identical regardless of Jobs.
 	Jobs int
+	// SweepPar bounds the oracle characterisation sweep's intra-cell
+	// worker budget: 0 draws from the process-wide shared pool (which
+	// Jobs-level parallelism also draws from, so the two compose without
+	// oversubscribing the host), 1 forces a serial sweep, any other value
+	// builds a dedicated budget of that size. The report and the on-disk
+	// characterisation cache are byte-identical at every setting.
+	SweepPar int
 	// CellTimeout is the per-cell wall-clock budget (0 = none).
 	CellTimeout time.Duration
 	// MaxRetries grants failing cells extra attempts with jittered
@@ -268,6 +275,7 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 	h.FaultRate = o.FaultRate
 	h.FaultSeed = o.FaultSeed
 	h.Jobs = o.Jobs
+	h.SweepPar = o.SweepPar
 	h.CellTimeout = o.CellTimeout
 	h.MaxRetries = o.MaxRetries
 	h.JournalPath = o.JournalPath

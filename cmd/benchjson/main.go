@@ -7,10 +7,12 @@
 //	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH.json \
 //	    [-headline BenchmarkAblation_SimThroughput] [-baseline 0]
 //
-// Every benchmark line is captured (iterations, ns/op and any custom
-// metrics such as Minstr/s). The headline benchmark's best Minstr/s
-// across -count repetitions becomes the top-level headline — best-of is
-// the right statistic for a throughput claim on a noisy host, since
+// With -count N, go test prints each benchmark N times; benchjson
+// aggregates the repetitions into one entry per benchmark name carrying
+// min and median for every metric (ns/op, B/op and custom units such as
+// Minstr/s), plus the repetition count. The headline benchmark's best
+// Minstr/s across repetitions becomes the top-level headline — best-of
+// is the right statistic for a throughput claim on a noisy host, since
 // interference only ever slows a run down. If -baseline is non-zero it
 // is recorded as the seed throughput measured on the same machine and
 // the speedup is computed from it.
@@ -25,16 +27,35 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// run is one benchmark result line.
+// run is one raw benchmark result line.
 type run struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string
+	Iterations int64
+	Metrics    map[string]float64
+}
+
+// metric summarises one unit across a benchmark's repetitions.
+type metric struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+}
+
+// bench is one benchmark's aggregated entry: all -count repetitions of
+// the same name fold into a single record.
+type bench struct {
+	Name string `json:"name"`
+	// Runs is how many result lines (repetitions) were aggregated.
+	Runs int `json:"runs"`
+	// Iterations is the total b.N summed over the repetitions.
+	Iterations int64             `json:"iterations"`
+	Metrics    map[string]metric `json:"metrics"`
 }
 
 // headline is the top-level throughput claim.
@@ -54,7 +75,7 @@ type report struct {
 	CPU        string   `json:"cpu,omitempty"`
 	Package    string   `json:"pkg,omitempty"`
 	Headline   headline `json:"headline"`
-	Benchmarks []run    `json:"benchmarks"`
+	Benchmarks []bench  `json:"benchmarks"`
 }
 
 const headlineMetric = "Minstr/s"
@@ -67,51 +88,9 @@ func main() {
 		"seed "+headlineMetric+" measured on this machine (0 = unknown; omits the speedup)")
 	flag.Parse()
 
-	rep := report{
-		Schema:  "cash-bench/1",
-		Command: "go test -run '^$' -bench . -benchmem . | benchjson",
-	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			rep.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "pkg: "):
-			rep.Package = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBench(line); ok {
-				rep.Benchmarks = append(rep.Benchmarks, r)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	rep, err := build(os.Stdin, *head, *baseline)
+	if err != nil {
 		fatal(err)
-	}
-	if len(rep.Benchmarks) == 0 {
-		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)"))
-	}
-
-	rep.Headline.Benchmark = *head
-	for _, r := range rep.Benchmarks {
-		if base(r.Name) != *head {
-			continue
-		}
-		if v, ok := r.Metrics[headlineMetric]; ok && v > rep.Headline.MinstrPerS {
-			rep.Headline.MinstrPerS = v
-		}
-	}
-	if rep.Headline.MinstrPerS == 0 {
-		fatal(fmt.Errorf("headline benchmark %s reported no %s metric", *head, headlineMetric))
-	}
-	if *baseline > 0 {
-		rep.Headline.SeedMinstrPerS = *baseline
-		rep.Headline.SpeedupVsSeed = round3(rep.Headline.MinstrPerS / *baseline)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -126,6 +105,98 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// build parses bench output from r and assembles the report.
+func build(r io.Reader, head string, baseline float64) (report, error) {
+	rep := report{
+		Schema:  "cash-bench/2",
+		Command: "go test -run '^$' -bench . -benchmem . | benchjson",
+	}
+	var runs []run
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				runs = append(runs, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return report{}, err
+	}
+	if len(runs) == 0 {
+		return report{}, fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	rep.Benchmarks = aggregate(runs)
+
+	rep.Headline.Benchmark = head
+	for _, r := range runs {
+		if base(r.Name) != head {
+			continue
+		}
+		if v, ok := r.Metrics[headlineMetric]; ok && v > rep.Headline.MinstrPerS {
+			rep.Headline.MinstrPerS = v
+		}
+	}
+	if rep.Headline.MinstrPerS == 0 {
+		return report{}, fmt.Errorf("headline benchmark %s reported no %s metric", head, headlineMetric)
+	}
+	if baseline > 0 {
+		rep.Headline.SeedMinstrPerS = baseline
+		rep.Headline.SpeedupVsSeed = round3(rep.Headline.MinstrPerS / baseline)
+	}
+	return rep, nil
+}
+
+// aggregate folds repeated result lines (go test -count) into one entry
+// per benchmark name, in first-appearance order.
+func aggregate(runs []run) []bench {
+	byName := map[string]int{}
+	samples := map[string]map[string][]float64{}
+	var out []bench
+	for _, r := range runs {
+		i, ok := byName[r.Name]
+		if !ok {
+			i = len(out)
+			byName[r.Name] = i
+			out = append(out, bench{Name: r.Name, Metrics: map[string]metric{}})
+			samples[r.Name] = map[string][]float64{}
+		}
+		out[i].Runs++
+		out[i].Iterations += r.Iterations
+		for unit, v := range r.Metrics {
+			samples[r.Name][unit] = append(samples[r.Name][unit], v)
+		}
+	}
+	for i := range out {
+		for unit, vs := range samples[out[i].Name] {
+			sort.Float64s(vs)
+			out[i].Metrics[unit] = metric{Min: vs[0], Median: round3(median(vs))}
+		}
+	}
+	return out
+}
+
+// median of a sorted, non-empty slice (mean of the middle pair when
+// even-sized).
+func median(vs []float64) float64 {
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // parseBench decodes one result line of the form

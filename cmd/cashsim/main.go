@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n]
-//	        [-jobs n] [-cell-timeout d] [-max-retries n]
+//	        [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n]
 //	        [-journal file] [-resume] [-v]
 //	        [-cpuprofile file] [-memprofile file] <artifact>
 //
@@ -17,6 +17,13 @@
 // -jobs runs cells in parallel (the report stays byte-identical),
 // -cell-timeout bounds each cell's wall-clock time, and -max-retries
 // grants failing cells extra attempts with jittered backoff.
+//
+// The brute-force characterisation sweep inside each cell is itself
+// parallel: -sweep-par sets its worker budget (0, the default, draws
+// from a process-wide budget shared with -jobs so the two compose
+// without oversubscribing the host; 1 forces a serial sweep). The
+// report and the on-disk characterisation cache are byte-identical at
+// every setting — parallelism only changes wall-clock time.
 //
 // Completed cells are appended to a crash-safe journal (-journal, or
 // $CASH_JOURNAL, or the user cache directory; "-" disables it). After
@@ -60,6 +67,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "reliability study: strikes per million cycles (0 = default)")
 	faultSeed := flag.Uint64("fault-seed", 0, "reliability study: fault-schedule seed (0 = default)")
 	jobs := flag.Int("jobs", 1, "cells to run in parallel (report stays byte-identical)")
+	sweepPar := flag.Int("sweep-par", 0, "oracle sweep workers per cell (0 = shared host budget, 1 = serial; results stay byte-identical)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock budget (0 = none)")
 	maxRetries := flag.Int("max-retries", 0, "extra attempts for failing cells (jittered backoff)")
 	journal := flag.String("journal", cash.DefaultJournalPath(), `crash-safe result journal ("-" disables)`)
@@ -72,7 +80,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to a file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
+		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
 		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-out file]\n\n")
 		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability all\n")
 		flag.PrintDefaults()
@@ -140,7 +148,7 @@ func main() {
 	start := time.Now()
 	opts := cash.ReproduceOptions{
 		Scale: *scale, FaultRate: *faultRate, FaultSeed: *faultSeed,
-		Jobs: *jobs, CellTimeout: *cellTimeout, MaxRetries: *maxRetries,
+		Jobs: *jobs, SweepPar: *sweepPar, CellTimeout: *cellTimeout, MaxRetries: *maxRetries,
 		JournalPath: *journal, Resume: *resume, Log: log,
 	}
 	if err := cash.ReproduceWith(w, flag.Arg(0), opts); err != nil {

@@ -66,6 +66,12 @@ type Opts struct {
 	// invariants (no NaN in state, simulator consistency) at every
 	// epoch rather than only at the end.
 	EpochHook func(sim *ssim.Sim, quantum int) error
+	// Sims, when non-nil, recycles the run's simulator through a shared
+	// pool instead of building one per run; it is released back when the
+	// run returns. The pool must have been built with the same SliceCfg
+	// and Policy as this run resolves to — a recycled simulator is reset
+	// to exactly the fresh-build state, so results are unaffected.
+	Sims *ssim.SimPool
 }
 
 // validate rejects option combinations that would silently corrupt a
@@ -186,15 +192,27 @@ func (r Result) MeanCostRate() float64 {
 	return r.TotalCost / (float64(r.TotalCycles) / cost.CyclesPerHour)
 }
 
+// newSim builds (or, when Opts.Sims is set, recycles) the run's
+// simulator in the initial configuration.
+func newSim(opts Opts) (*ssim.Sim, error) {
+	if opts.Sims != nil {
+		return opts.Sims.Acquire(opts.Initial)
+	}
+	return ssim.New(opts.Initial, opts.SliceCfg, opts.Policy)
+}
+
 // Run executes app under the policy until the workload completes.
 func Run(app workload.App, policy alloc.Allocator, opts Opts) (Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return Result{}, err
 	}
-	sim, err := ssim.New(opts.Initial, opts.SliceCfg, opts.Policy)
+	sim, err := newSim(opts)
 	if err != nil {
 		return Result{}, err
+	}
+	if opts.Sims != nil {
+		defer opts.Sims.Release(sim)
 	}
 	gen := workload.NewGen(app, opts.Seed)
 	res := Result{App: app.Name, Allocator: policy.Name(), Target: opts.Target, Tau: opts.Tau}

@@ -6,7 +6,6 @@ import (
 	"cash/internal/alloc"
 	"cash/internal/cost"
 	"cash/internal/guard"
-	"cash/internal/ssim"
 	"cash/internal/workload"
 )
 
@@ -119,9 +118,12 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	if opts.Horizon == 0 {
 		opts.Horizon = 240_000_000 // a few full load swings (Fig 9)
 	}
-	sim, err := ssim.New(o.Initial, o.SliceCfg, o.Policy)
+	sim, err := newSim(o)
 	if err != nil {
 		return ServerResult{}, err
+	}
+	if o.Sims != nil {
+		defer o.Sims.Release(sim)
 	}
 	opts.Stream.Reset()
 	phase := workload.RequestPhase(opts.Stream.InstrsPerRequest)

@@ -78,6 +78,7 @@ func (h *Harness) Ablations() error {
 					Model:     h.Model,
 					Tolerance: 0.10,
 					Policy:    v.steer,
+					Sims:      h.sims(v.steer),
 				})
 				if err != nil {
 					return nil, err

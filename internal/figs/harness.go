@@ -15,6 +15,9 @@ import (
 	"cash/internal/cost"
 	"cash/internal/experiment"
 	"cash/internal/oracle"
+	"cash/internal/par"
+	"cash/internal/slice"
+	"cash/internal/ssim"
 	"cash/internal/supervise"
 	"cash/internal/workload"
 )
@@ -48,6 +51,14 @@ type Harness struct {
 	// Jobs bounds how many cells run in parallel (<=1 = sequential).
 	// Output ordering is deterministic regardless.
 	Jobs int
+	// SweepPar bounds the oracle characterisation sweep's intra-cell
+	// worker budget: 0 draws from the process-wide shared pool
+	// (GOMAXPROCS workers — the budget cell-level Jobs parallelism also
+	// composes with, so nesting the two cannot oversubscribe the host),
+	// 1 forces a serial sweep, and any other value builds a dedicated
+	// budget of that size. Results and artifacts are byte-identical at
+	// every setting; only wall-clock changes.
+	SweepPar int
 	// CellTimeout is the per-cell wall-clock budget (0 = none).
 	CellTimeout time.Duration
 	// MaxRetries is how many extra attempts a failing cell gets.
@@ -69,6 +80,8 @@ type Harness struct {
 	logMu       sync.Mutex
 	journal     *supervise.Journal
 	journalOnce sync.Once
+	sweepOnce   sync.Once
+	simPools    sync.Map // ssim.SteeringPolicy → *ssim.SimPool
 }
 
 // New builds a harness writing to out, loading any cached
@@ -152,10 +165,29 @@ func (h *Harness) apps() []workload.App {
 	return out
 }
 
+// sims returns the harness's shared simulator pool for a steering
+// policy, so parallel cells recycle simulator state instead of
+// rebuilding the memory hierarchy per run.
+func (h *Harness) sims(pol ssim.SteeringPolicy) *ssim.SimPool {
+	if v, ok := h.simPools.Load(pol); ok {
+		return v.(*ssim.SimPool)
+	}
+	v, _ := h.simPools.LoadOrStore(pol, ssim.NewSimPool(slice.DefaultConfig(), pol))
+	return v.(*ssim.SimPool)
+}
+
 // characterize sweeps an app and persists the cache. Progress goes to
 // the diagnostic log: wall times are environment noise that would break
 // the report's byte-reproducibility.
 func (h *Harness) characterize(app workload.App) {
+	h.sweepOnce.Do(func() {
+		// SweepPar 0 leaves DB.Pool nil, which resolves to the shared
+		// process budget; a nonzero setting gets a dedicated budget of
+		// exactly that size (1 = serial baseline).
+		if h.DB.Pool == nil && h.SweepPar != 0 {
+			h.DB.Pool = par.New(h.SweepPar)
+		}
+	})
 	start := time.Now()
 	h.DB.CharacterizeApp(app)
 	if d := time.Since(start); d > time.Second {
@@ -205,6 +237,7 @@ func (h *Harness) run(s appSetup, policy alloc.Allocator) (experiment.Result, er
 		Target:    s.Target,
 		Model:     h.Model,
 		Tolerance: 0.10,
+		Sims:      h.sims(ssim.SteerEarliest),
 	})
 }
 

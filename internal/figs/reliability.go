@@ -8,6 +8,7 @@ import (
 	"cash/internal/experiment"
 	"cash/internal/fault"
 	"cash/internal/guard"
+	"cash/internal/ssim"
 	"cash/internal/supervise"
 	"cash/internal/vcore"
 	"cash/internal/workload"
@@ -106,6 +107,7 @@ func (h *Harness) Reliability() ([]ReliabilityRow, error) {
 						MaxQuanta:   reliabilityQuanta,
 						FabricWidth: reliabilityDim, FabricHeight: reliabilityDim,
 						Initial: vcore.Config{Slices: 2, L2KB: 128},
+						Sims:    h.sims(ssim.SteerEarliest),
 					}
 					if rate > 0 {
 						sched := fault.MustGenerate(fault.Spec{

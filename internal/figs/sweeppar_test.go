@@ -1,0 +1,45 @@
+package figs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSweepParDoesNotChangeArtifacts pins the parallel characterisation
+// sweep's bit-identity contract end to end: the rendered report AND the
+// persisted oracle cache file must be byte-identical whether the sweep
+// runs serially or on several workers. Run under -race this also
+// exercises the sweep's memory safety through the full figs path.
+func TestSweepParDoesNotChangeArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterisation sweep in -short mode")
+	}
+	dir := t.TempDir()
+	run := func(sweepPar int) (report string, cache []byte) {
+		var buf bytes.Buffer
+		h := New(&buf)
+		h.Scale = 0.02
+		h.CachePath = filepath.Join(dir, "cache-"+string(rune('0'+sweepPar))+".gob")
+		h.SweepPar = sweepPar
+		if err := h.Fig1(); err != nil {
+			t.Fatal(err)
+		}
+		h.Save()
+		b, err := os.ReadFile(h.CachePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), b
+	}
+	serialRep, serialCache := run(1)
+	parRep, parCache := run(4)
+	if serialRep != parRep {
+		t.Errorf("report must be byte-identical regardless of SweepPar:\n--- sweep-par=1\n%s\n--- sweep-par=4\n%s",
+			serialRep, parRep)
+	}
+	if !bytes.Equal(serialCache, parCache) {
+		t.Error("oracle cache file differs between serial and parallel sweeps")
+	}
+}

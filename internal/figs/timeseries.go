@@ -7,6 +7,7 @@ import (
 	"cash/internal/cashrt"
 	"cash/internal/experiment"
 	"cash/internal/qlearn"
+	"cash/internal/ssim"
 	"cash/internal/stats"
 	"cash/internal/supervise"
 	"cash/internal/vcore"
@@ -211,6 +212,7 @@ func (h *Harness) Fig9() error {
 		o := experiment.ServerOpts{TargetLatencyCycles: 110_000}
 		o.Opts.Tolerance = 0.10
 		o.Opts.Model = h.Model
+		o.Opts.Sims = h.sims(ssim.SteerEarliest)
 		if h.Scale != 1.0 {
 			o.Horizon = int64(240_000_000 * h.Scale)
 		}

@@ -29,6 +29,8 @@ import (
 	"cash/internal/experiment"
 	"cash/internal/fault"
 	"cash/internal/guard"
+	"cash/internal/par"
+	"cash/internal/slice"
 	"cash/internal/ssim"
 	"cash/internal/workload"
 )
@@ -50,6 +52,12 @@ type Options struct {
 	Tau int64
 	// Scenarios restricts the soak to the named scenarios (nil = all).
 	Scenarios []string
+	// Pool bounds how many (scenario, seed) runs execute concurrently.
+	// nil draws from the process-wide shared budget, so a soak launched
+	// next to other parallel work (figs cells, oracle sweeps) cannot
+	// oversubscribe the host. The report is byte-identical at any
+	// setting: results land in canonical (scenario, seed) order.
+	Pool *par.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -254,6 +262,13 @@ func steadyApp(seed uint64) workload.App {
 	}}}
 }
 
+// simPool recycles simulators across the soak's many runs. Recycling is
+// purely an allocation optimisation — a reset simulator is bit-identical
+// to a freshly built one — so replay digests are unaffected. Every run
+// here uses the default Slice microarchitecture and steering policy,
+// which is what the pool is built for.
+var simPool = ssim.NewSimPool(slice.DefaultConfig(), ssim.SteerEarliest)
+
 // rng returns a splitmix64-style generator; the harness derives all of
 // its per-seed variation from it, never from a wall clock.
 func rng(seed uint64) func() uint64 {
@@ -292,24 +307,41 @@ func Run(opts Options) (Report, error) {
 		}
 	}
 	rep := Report{Guardrails: opts.Guardrails}
+	// Flatten the (scenario, seed) grid into independent jobs: runSeed is
+	// deterministic per (scenario, seed) and panic-barriered, so the runs
+	// can execute in any order. Each job writes its outcome into its own
+	// slot and the report is assembled serially in canonical grid order —
+	// the output is byte-identical to the sequential loop.
+	type job struct {
+		s    scenario
+		seed uint64
+	}
+	jobs := make([]job, 0, len(selected)*opts.Seeds)
 	for _, s := range selected {
 		rep.Scenarios = append(rep.Scenarios, s.name)
 		for i := 0; i < opts.Seeds; i++ {
-			seed := uint64(i)*0x9e3779b97f4a7c15 + 1
-			first := runSeed(s, seed, opts)
-			second := runSeed(s, seed, opts)
-			first.ReplayIdentical = first.Digest == second.Digest &&
-				first.Panicked == second.Panicked
-			if !first.ReplayIdentical {
-				first.Violations = append(first.Violations,
-					fmt.Sprintf("replay diverged: digest %016x vs %016x", first.Digest, second.Digest))
-			}
-			if len(first.Violations) > 0 {
-				rep.Failures++
-			}
-			rep.Results = append(rep.Results, first)
+			jobs = append(jobs, job{s: s, seed: uint64(i)*0x9e3779b97f4a7c15 + 1})
 		}
 	}
+	results := make([]SeedResult, len(jobs))
+	par.Resolve(opts.Pool).ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		first := runSeed(j.s, j.seed, opts)
+		second := runSeed(j.s, j.seed, opts)
+		first.ReplayIdentical = first.Digest == second.Digest &&
+			first.Panicked == second.Panicked
+		if !first.ReplayIdentical {
+			first.Violations = append(first.Violations,
+				fmt.Sprintf("replay diverged: digest %016x vs %016x", first.Digest, second.Digest))
+		}
+		results[i] = first
+	})
+	for _, res := range results {
+		if len(res.Violations) > 0 {
+			rep.Failures++
+		}
+	}
+	rep.Results = results
 	return rep, nil
 }
 
@@ -386,6 +418,7 @@ func runSeed(s scenario, seed uint64, opts Options) (res SeedResult) {
 		Seed:      seed | 1,
 		Faults:    &sch,
 		EpochHook: hook,
+		Sims:      simPool,
 	})
 	if err != nil {
 		res.Violations = append(res.Violations, fmt.Sprintf("run failed: %v", err))

@@ -13,6 +13,13 @@ import "fmt"
 // reconfiguration cost the paper quantifies (§VI-A).
 type BankedL2 struct {
 	banks []*Cache
+	// all retains every bank ever built so repeated Reconfigure/Reset
+	// cycles (the oracle sweep runs 64 of them per pooled simulator)
+	// reuse tag arrays instead of reallocating; banks is always
+	// all[:activeCount]. A flushed bank is bit-identical to a fresh one
+	// (lines, clocks and stats all zero), so retention cannot leak
+	// state between configurations.
+	all []*Cache
 	// distance[i] is bank i's Manhattan distance from the virtual
 	// core's Slices in the fabric layout, which sets its hit delay
 	// (Table II: distance*2+4). Maintained by the fabric placement.
@@ -39,6 +46,7 @@ func NewBankedL2(banks int) (*BankedL2, error) {
 	for i := range l2.banks {
 		l2.banks[i] = MustCache(L2BankKB, L2Assoc)
 	}
+	l2.all = l2.banks
 	l2.setGeometry()
 	return l2, nil
 }
@@ -70,15 +78,22 @@ func MustBankedL2(banks int) *BankedL2 {
 // Larger L2 configurations therefore pay longer average hit delays —
 // one of the two forces that make the configuration space non-convex.
 func DefaultDistances(banks int) []int {
-	d := make([]int, banks)
+	return appendDefaultDistances(nil, banks)
+}
+
+// appendDefaultDistances writes the canonical distances for banks banks
+// into d (reusing its capacity), so reconfiguration can refresh the
+// placement without allocating.
+func appendDefaultDistances(d []int, banks int) []int {
+	d = d[:0]
 	dist, ring, used := 1, 3, 0
-	for i := range d {
+	for i := 0; i < banks; i++ {
 		if used == ring {
 			dist++
 			ring = 3 * dist
 			used = 0
 		}
-		d[i] = dist
+		d = append(d, dist)
 		used++
 	}
 	return d
@@ -194,11 +209,8 @@ func (l *BankedL2) Reconfigure(newBanks int) (dirtyLines int, err error) {
 	}
 	old.Writebacks += int64(dirtyLines)
 	if newBanks != len(l.banks) {
-		l.banks = make([]*Cache, newBanks)
-		for i := range l.banks {
-			l.banks[i] = MustCache(L2BankKB, L2Assoc)
-		}
-		l.distance = DefaultDistances(newBanks)
+		l.banks = l.reserve(newBanks)
+		l.distance = appendDefaultDistances(l.distance, newBanks)
 		l.setGeometry()
 	}
 	// Re-home the aggregate counters on bank 0 so reconfiguration does
@@ -206,4 +218,35 @@ func (l *BankedL2) Reconfigure(newBanks int) (dirtyLines int, err error) {
 	l.ResetStats()
 	l.banks[0].stats = old
 	return dirtyLines, nil
+}
+
+// reserve returns the first n retained banks, constructing missing ones
+// and wiping any being re-activated, so a bank entering service is
+// indistinguishable from a fresh MustCache.
+func (l *BankedL2) reserve(n int) []*Cache {
+	for len(l.all) < n {
+		l.all = append(l.all, MustCache(L2BankKB, L2Assoc))
+	}
+	for i := len(l.banks); i < n; i++ {
+		l.all[i].Reset()
+	}
+	return l.all[:n]
+}
+
+// Reset returns the L2 to the just-constructed state of a banks-bank
+// instance: contents, clocks and statistics zeroed, canonical
+// distances. Unlike Reconfigure it models no flush and carries no
+// counters over — it exists so a pooled simulator can be recycled for
+// a fresh run without reallocating tag arrays.
+func (l *BankedL2) Reset(banks int) error {
+	if banks <= 0 {
+		return fmt.Errorf("mem: L2 reset to %d banks", banks)
+	}
+	l.banks = l.reserve(banks)
+	for _, b := range l.banks {
+		b.Reset()
+	}
+	l.distance = appendDefaultDistances(l.distance, banks)
+	l.setGeometry()
+	return nil
 }

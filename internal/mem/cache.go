@@ -154,6 +154,21 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the event counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset returns the cache to its just-constructed state: every line
+// invalid, set clocks and statistics zeroed. Unlike Flush it records
+// nothing — the caller is recycling the structure for a fresh
+// simulation, not modelling a writeback flush — so a Reset cache is
+// indistinguishable from a NewCache of the same geometry.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = 0
+	}
+	for i := range c.clock {
+		c.clock[i] = 0
+	}
+	c.stats = Stats{}
+}
+
 // Access looks the address up, allocating on miss. write marks the line
 // dirty. It reports whether the access hit and whether a dirty line was
 // evicted (a writeback).

@@ -221,6 +221,55 @@ func TestBankedReconfigureKeepsStats(t *testing.T) {
 	}
 }
 
+// TestCacheResetMatchesFresh: a reset cache must be indistinguishable
+// from a new one — same hit/miss sequence, same stats, no retained
+// lines from its previous life.
+func TestCacheResetMatchesFresh(t *testing.T) {
+	used := MustCache(16, 2)
+	for a := uint64(0); a < 64*uint64(BlockBytes); a += BlockBytes {
+		used.Access(a, a%128 == 0)
+	}
+	used.Reset()
+	fresh := MustCache(16, 2)
+	for a := uint64(0); a < 32*uint64(BlockBytes); a += BlockBytes {
+		hu, wu := used.Access(a, false)
+		hf, wf := fresh.Access(a, false)
+		if hu != hf || wu != wf {
+			t.Fatalf("addr %#x: reset (%v,%v) vs fresh (%v,%v)", a, hu, wu, hf, wf)
+		}
+	}
+	if used.Stats() != fresh.Stats() {
+		t.Errorf("stats after reset %+v vs fresh %+v", used.Stats(), fresh.Stats())
+	}
+}
+
+// TestBankedResetMatchesFresh covers the shrink-then-regrow hazard: a
+// bank deactivated with dirty lines must come back cold when Reset
+// re-activates it.
+func TestBankedResetMatchesFresh(t *testing.T) {
+	used := MustBankedL2(8)
+	for a := uint64(0); a < 512*uint64(BlockBytes); a += BlockBytes {
+		used.Access(a, true) // dirty every touched line
+	}
+	if err := used.Reset(2); err != nil { // drop to 2 banks...
+		t.Fatal(err)
+	}
+	if err := used.Reset(8); err != nil { // ...and regrow, re-activating old banks
+		t.Fatal(err)
+	}
+	fresh := MustBankedL2(8)
+	for a := uint64(0); a < 256*uint64(BlockBytes); a += BlockBytes {
+		hu, du, wu := used.Access(a, false)
+		hf, df, wf := fresh.Access(a, false)
+		if hu != hf || du != df || wu != wf {
+			t.Fatalf("addr %#x: reset (%v,%d,%v) vs fresh (%v,%d,%v)", a, hu, du, wu, hf, df, wf)
+		}
+	}
+	if used.Stats() != fresh.Stats() {
+		t.Errorf("stats after reset %+v vs fresh %+v", used.Stats(), fresh.Stats())
+	}
+}
+
 func TestSetDistances(t *testing.T) {
 	l2 := MustBankedL2(4)
 	if err := l2.SetDistances([]int{1, 2}); err == nil {

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // Persistent characterisation cache. The brute-force sweep of §V-C is
@@ -32,14 +33,28 @@ func DefaultCachePath() string {
 // cacheMagic heads the current cache format: the magic, an 8-digit hex
 // CRC32 of the gob payload, and a newline, followed by the payload.
 //
-// The version in the magic is tied to the appKey scheme: CASHORACLE2
-// entries are keyed by the full-Phase FNV-1a digest. CASHORACLE1 files
-// (and the bare-gob caches that predate the header) were keyed by a
-// digest that collapsed the instruction mix to one scalar and omitted
-// the dependence fractions, so distinct workloads could collide; such
-// files are rejected on load rather than decoded, and the caller
-// re-characterises from scratch.
-const cacheMagic = "CASHORACLE2 "
+// CASHORACLE3 payloads are a gob []cacheEntry sorted by key — a
+// canonical byte encoding, so two databases holding the same entries
+// always serialise to the same file whatever order the parallel sweep
+// filled them in (gob maps encode in randomised iteration order, which
+// is what the v2 format used). CASHORACLE2 files carry the same key
+// scheme in map form and are still loaded; only their byte layout was
+// nondeterministic. CASHORACLE1 files (and the bare-gob caches that
+// predate the header) were keyed by a digest that collapsed the
+// instruction mix to one scalar and omitted the dependence fractions,
+// so distinct workloads could collide; such files are rejected on load
+// rather than decoded, and the caller re-characterises from scratch.
+const (
+	cacheMagic   = "CASHORACLE3 "
+	cacheMagicV2 = "CASHORACLE2 "
+)
+
+// cacheEntry is one serialised characterisation, ordered by Key in the
+// v3 on-disk format.
+type cacheEntry struct {
+	Key string
+	Val Char
+}
 
 // LoadCache merges entries from the file into the database. A missing
 // file is not an error. A cache with an old or unrecognised format, or
@@ -54,11 +69,19 @@ func (db *DB) LoadCache(path string) error {
 		}
 		return fmt.Errorf("oracle: opening cache: %w", err)
 	}
-	if !bytes.HasPrefix(raw, []byte(cacheMagic)) {
+	var magic string
+	switch {
+	case bytes.HasPrefix(raw, []byte(cacheMagic)):
+		magic = cacheMagic
+	case bytes.HasPrefix(raw, []byte(cacheMagicV2)):
+		// Same key scheme, map-shaped payload with nondeterministic byte
+		// order; the entries themselves are still valid.
+		magic = cacheMagicV2
+	default:
 		return fmt.Errorf("oracle: cache %s is not in the %sformat (old caches were keyed by a digest that allowed collisions); discarding it",
 			path, cacheMagic)
 	}
-	rest := raw[len(cacheMagic):]
+	rest := raw[len(magic):]
 	nl := bytes.IndexByte(rest, '\n')
 	if nl != 8 {
 		return fmt.Errorf("oracle: cache %s has a malformed checksum header; discarding it", path)
@@ -68,9 +91,19 @@ func (db *DB) LoadCache(path string) error {
 	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)); got != want {
 		return fmt.Errorf("oracle: cache %s checksum mismatch (%s != %s); discarding it", path, got, want)
 	}
-	var m map[string]Char
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
-		return fmt.Errorf("oracle: decoding cache %s: %w", path, err)
+	m := make(map[string]Char)
+	if magic == cacheMagic {
+		var entries []cacheEntry
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&entries); err != nil {
+			return fmt.Errorf("oracle: decoding cache %s: %w", path, err)
+		}
+		for _, e := range entries {
+			m[e.Key] = e.Val
+		}
+	} else {
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+			return fmt.Errorf("oracle: decoding cache %s: %w", path, err)
+		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -82,17 +115,21 @@ func (db *DB) LoadCache(path string) error {
 	return nil
 }
 
-// SaveCache writes the database's entries to the file atomically.
+// SaveCache writes the database's entries to the file atomically, in
+// sorted key order so the bytes are a pure function of the entry set —
+// a sweep parallelised across any number of workers saves the same
+// file a serial one does.
 func (db *DB) SaveCache(path string) error {
 	db.mu.Lock()
-	m := make(map[string]Char, len(db.cache))
+	entries := make([]cacheEntry, 0, len(db.cache))
 	for k, v := range db.cache {
-		m[k] = v
+		entries = append(entries, cacheEntry{Key: k, Val: v})
 	}
 	db.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(entries); err != nil {
 		return fmt.Errorf("oracle: encoding cache: %w", err)
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -18,10 +18,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"runtime"
 	"sync"
 
 	"cash/internal/cost"
+	"cash/internal/par"
 	"cash/internal/slice"
 	"cash/internal/ssim"
 	"cash/internal/vcore"
@@ -51,6 +51,13 @@ type DB struct {
 	// it should match the experiment engine's control quantum.
 	Window int64
 
+	// Pool bounds the worker budget of the parallel configuration sweep
+	// (CharacterizeApp). nil means the process-wide shared pool
+	// (GOMAXPROCS workers); set par.Serial() for a serial sweep. Every
+	// measurement is keyed and deterministic, so the pool affects only
+	// wall-clock, never results.
+	Pool *par.Pool
+
 	mu       sync.Mutex
 	cache    map[string]Char
 	inflight map[string]*inflightChar
@@ -58,6 +65,14 @@ type DB struct {
 	// measured counts measureApp executions, for tests asserting the
 	// in-flight deduplication (exactly one measurement per key).
 	measured int64
+
+	// sims/gens recycle simulator and generator state across
+	// measurements (the sweep would otherwise allocate a full memory
+	// hierarchy per (app, config) cell). Built lazily from SliceCfg and
+	// Policy on first measurement.
+	simsOnce sync.Once
+	sims     *ssim.SimPool
+	gens     sync.Pool
 }
 
 // inflightChar is a Characterize call in progress; later callers for
@@ -65,6 +80,10 @@ type DB struct {
 type inflightChar struct {
 	done chan struct{}
 	val  Char
+	// err holds the panic value when the measuring caller's sweep died;
+	// waiters re-panic it so a poisoned measurement behaves identically
+	// for every caller instead of hanging the waiters.
+	err any
 }
 
 // DefaultWindow matches the experiment engine's default control quantum.
@@ -150,6 +169,9 @@ func (db *DB) Characterize(app workload.App, cfg vcore.Config) Char {
 	if c, ok := db.inflight[key]; ok {
 		db.mu.Unlock()
 		<-c.done
+		if c.err != nil {
+			panic(c.err)
+		}
 		return c.val
 	}
 	c := &inflightChar{done: make(chan struct{})}
@@ -159,7 +181,22 @@ func (db *DB) Characterize(app workload.App, cfg vcore.Config) Char {
 	db.inflight[key] = c
 	db.mu.Unlock()
 
-	c.val = db.measureApp(app, cfg)
+	// A panicking measurement must not leave waiters hanging on the
+	// in-flight entry: record the panic for them, clear the entry so a
+	// later call retries from scratch, wake everyone, then re-panic.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = r
+				db.mu.Lock()
+				delete(db.inflight, key)
+				db.mu.Unlock()
+				close(c.done)
+				panic(r)
+			}
+		}()
+		c.val = db.measureApp(app, cfg)
+	}()
 
 	db.mu.Lock()
 	db.cache[key] = c.val
@@ -188,13 +225,26 @@ func (db *DB) MinQuantumIPC(app workload.App, phaseIdx int, cfg vcore.Config) fl
 }
 
 // measureApp executes the whole application once on cfg, quantum window
-// by quantum window.
+// by quantum window. Simulator and generator state is recycled through
+// pools: a recycled instance is reset to exactly the state a fresh one
+// would be built in (guarded by the pooled golden tests), so pooling
+// changes allocation behaviour only.
 func (db *DB) measureApp(app workload.App, cfg vcore.Config) Char {
 	db.mu.Lock()
 	db.measured++
 	db.mu.Unlock()
-	sim := ssim.MustNew(cfg, db.SliceCfg, db.Policy)
-	gen := workload.NewGen(app, db.Seed)
+	db.simsOnce.Do(func() {
+		db.sims = ssim.NewSimPool(db.SliceCfg, db.Policy)
+		db.gens.New = func() any { return new(workload.Gen) }
+	})
+	sim, err := db.sims.Acquire(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("oracle: acquiring simulator for %s: %v", cfg, err))
+	}
+	defer db.sims.Release(sim)
+	gen := db.gens.Get().(*workload.Gen)
+	gen.ResetTo(app, db.Seed)
+	defer db.gens.Put(gen)
 	ch := Char{
 		Avg:  make([]float64, len(app.Phases)),
 		MinQ: make([]float64, len(app.Phases)),
@@ -236,26 +286,19 @@ func (db *DB) measureApp(app workload.App, cfg vcore.Config) Char {
 	return ch
 }
 
-// CharacterizeApp sweeps all 64 configurations of the space for app, in
-// parallel across CPUs (§V-C's brute force).
+// CharacterizeApp sweeps all 64 configurations of the space for app
+// (§V-C's brute force), drawing workers from db.Pool (nil: the shared
+// GOMAXPROCS budget). Each cell is keyed by (app, config) and measured
+// deterministically, and the cache file serialises in sorted key
+// order, so every artifact downstream of the sweep is byte-identical
+// whatever the worker count. Concurrent sweeps of the same app compose
+// through Characterize's singleflight: the overlapping cells are
+// measured once and shared.
 func (db *DB) CharacterizeApp(app workload.App) {
 	space := vcore.Space()
-	jobs := make(chan vcore.Config)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cfg := range jobs {
-				db.Characterize(app, cfg)
-			}
-		}()
-	}
-	for _, cfg := range space {
-		jobs <- cfg
-	}
-	close(jobs)
-	wg.Wait()
+	par.Resolve(db.Pool).ForEach(len(space), func(i int) {
+		db.Characterize(app, space[i])
+	})
 }
 
 // Grid returns the 8×8 IPC surface of one phase: grid[s-1][l2Idx]

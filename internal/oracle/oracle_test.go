@@ -1,11 +1,15 @@
 package oracle
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"cash/internal/cost"
+	"cash/internal/par"
 	"cash/internal/vcore"
 	"cash/internal/workload"
 )
@@ -291,6 +295,129 @@ func TestLoadCacheRejectsOldFormats(t *testing.T) {
 		if db2.Entries() != 0 {
 			t.Fatalf("case %d: old-format cache must not contribute entries", i)
 		}
+	}
+}
+
+// TestParallelSweepMatchesSerial pins the bit-identity contract on the
+// parallel characterisation path: the same Char values, the same entry
+// count, and a byte-identical cache file regardless of the worker
+// budget. Run under -race this also exercises the sweep's memory
+// safety.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	app := tinyApp()
+
+	serial := NewDB()
+	serial.Pool = par.Serial()
+	serial.CharacterizeApp(app)
+
+	parallel := NewDB()
+	parallel.Pool = par.New(4)
+	parallel.CharacterizeApp(app)
+
+	if serial.Entries() != parallel.Entries() {
+		t.Fatalf("entries: serial %d vs parallel %d", serial.Entries(), parallel.Entries())
+	}
+	for _, cfg := range vcore.Space() {
+		a := serial.Characterize(app, cfg)
+		b := parallel.Characterize(app, cfg)
+		for i := range a.Avg {
+			if a.Avg[i] != b.Avg[i] || a.MinQ[i] != b.MinQ[i] {
+				t.Fatalf("%s phase %d: serial (%v, %v) vs parallel (%v, %v)",
+					cfg, i, a.Avg[i], a.MinQ[i], b.Avg[i], b.MinQ[i])
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "serial.gob")
+	p2 := filepath.Join(dir, "parallel.gob")
+	if err := serial.SaveCache(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.SaveCache(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cache files differ between serial and parallel sweeps")
+	}
+}
+
+// TestConcurrentCharacterizeShareOneSweep exercises the singleflight
+// path under -race: many goroutines characterising the same app must
+// agree and leave exactly one entry per configuration.
+func TestConcurrentCharacterizeShareOneSweep(t *testing.T) {
+	db := NewDB()
+	db.Pool = par.New(2)
+	app := tinyApp()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			db.CharacterizeApp(app)
+		}()
+	}
+	wg.Wait()
+	if want := len(vcore.Space()); db.Entries() != want {
+		t.Fatalf("Entries = %d, want %d", db.Entries(), want)
+	}
+}
+
+// TestCharacterizePanicReachesWaiters is the singleflight-panic
+// regression test: when a measurement panics, concurrent waiters on the
+// same (app, config) must receive the panic instead of blocking forever
+// on a done channel that never closes, and the in-flight entry must be
+// cleared so later calls re-attempt rather than hang.
+func TestCharacterizePanicReachesWaiters(t *testing.T) {
+	db := NewDB()
+	bad := workload.App{Name: "bad"} // no phases: the generator panics
+	cfg := vcore.Min()
+
+	characterize := func() (panicked any) {
+		defer func() { panicked = recover() }()
+		db.Characterize(bad, cfg)
+		return nil
+	}
+
+	done := make(chan any, 2)
+	for g := 0; g < 2; g++ {
+		go func() { done <- characterize() }()
+	}
+	for g := 0; g < 2; g++ {
+		select {
+		case p := <-done:
+			if p == nil {
+				t.Fatal("Characterize of an invalid app must panic")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("waiter hung after the measurement panicked")
+		}
+	}
+
+	// The failed flight must not poison the key: a later call re-attempts
+	// (and panics again) instead of waiting on the dead flight.
+	retry := make(chan any, 1)
+	go func() { retry <- characterize() }()
+	select {
+	case p := <-retry:
+		if p == nil {
+			t.Fatal("retry must re-attempt and panic again")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("retry hung on a stale in-flight entry")
+	}
+
+	// And the database still works for valid measurements.
+	if ch := db.Characterize(tinyApp(), cfg); len(ch.Avg) == 0 {
+		t.Fatal("database unusable after a panicked measurement")
 	}
 }
 

@@ -111,6 +111,19 @@ func MustNew(id noc.NodeID, pos noc.Coord, cfg Config) *Slice {
 	return s
 }
 
+// Reset returns the Slice to its just-constructed state: L1 contents
+// and statistics wiped, rename mappings dropped, spill and performance
+// counters zeroed. The configured geometry and the OnSpill wiring
+// survive, so an owning virtual core can recycle the Slice for a fresh
+// run without reallocating tag arrays or rename storage.
+func (s *Slice) Reset() {
+	s.L1I.Reset()
+	s.L1D.Reset()
+	s.Rename.Reset()
+	s.Rename.Spills = 0
+	s.Counters = perf.Counters{}
+}
+
 // ReadCounters implements perf.CounterSource.
 func (s *Slice) ReadCounters(atCycle int64) perf.Sample {
 	c := s.Counters

@@ -1,0 +1,55 @@
+package ssim
+
+import (
+	"sync"
+
+	"cash/internal/slice"
+	"cash/internal/vcore"
+)
+
+// SimPool recycles simulators across independent runs that share one
+// Slice microarchitecture and steering policy — the oracle's sweep
+// shape, where thousands of characterisation cells each need a fresh
+// virtual core but the lane rings, cache tag arrays and rename storage
+// are identical from cell to cell. Acquire hands out a simulator in
+// exactly the state New would construct (Sim.Reset wipes all retained
+// state; the pooled golden tests pin the bit-identity), so pooling is
+// purely an allocation optimisation, never a behavioural one.
+//
+// A SimPool is safe for concurrent use; it is a thin wrapper over
+// sync.Pool, so simulators released on one goroutine are reused on
+// another and the pool drains under memory pressure.
+type SimPool struct {
+	scfg slice.Config
+	pol  SteeringPolicy
+	p    sync.Pool
+}
+
+// NewSimPool returns a pool producing simulators with the given Slice
+// microarchitecture and steering policy.
+func NewSimPool(sliceCfg slice.Config, pol SteeringPolicy) *SimPool {
+	return &SimPool{scfg: sliceCfg, pol: pol}
+}
+
+// Acquire returns a simulator configured as cfg, recycling a released
+// one when available. The caller must Release it when done (releasing
+// is optional after a panic — an unreleased simulator is simply
+// garbage-collected).
+func (sp *SimPool) Acquire(cfg vcore.Config) (*Sim, error) {
+	if v := sp.p.Get(); v != nil {
+		s := v.(*Sim)
+		if err := s.Reset(cfg); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return New(cfg, sp.scfg, sp.pol)
+}
+
+// Release returns a simulator to the pool for reuse. The simulator may
+// be in any state — the next Acquire resets it before handing it out.
+func (sp *SimPool) Release(s *Sim) {
+	if s != nil {
+		sp.p.Put(s)
+	}
+}

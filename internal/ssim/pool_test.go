@@ -1,0 +1,142 @@
+package ssim
+
+import (
+	"testing"
+
+	"cash/internal/slice"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// compareSims asserts two simulators agree on every observable the rest
+// of the system can see — the clocks, the committed count, the register
+// timing state and the per-Slice counters. It is the fresh-vs-recycled
+// half of the bit-identity contract (golden_test.go holds the
+// optimized-vs-reference half).
+func compareSims(t *testing.T, tag string, got, want *Sim) {
+	t.Helper()
+	if got.committed != want.committed {
+		t.Fatalf("%s: committed %d != fresh %d", tag, got.committed, want.committed)
+	}
+	if got.commitCycle != want.commitCycle {
+		t.Fatalf("%s: commitCycle %d != fresh %d", tag, got.commitCycle, want.commitCycle)
+	}
+	if got.fetchCycle != want.fetchCycle || got.fetchCount != want.fetchCount {
+		t.Fatalf("%s: fetch clock (%d,%d) != fresh (%d,%d)",
+			tag, got.fetchCycle, got.fetchCount, want.fetchCycle, want.fetchCount)
+	}
+	if got.regReady != want.regReady {
+		t.Fatalf("%s: regReady diverged", tag)
+	}
+	if got.regProd != want.regProd {
+		t.Fatalf("%s: regProd diverged", tag)
+	}
+	gs, ws := got.vc.Slices(), want.vc.Slices()
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: %d slices != fresh %d", tag, len(gs), len(ws))
+	}
+	for i := range gs {
+		if gs[i].Counters != ws[i].Counters {
+			t.Fatalf("%s: slice %d counters %+v != fresh %+v", tag, i, gs[i].Counters, ws[i].Counters)
+		}
+	}
+}
+
+// dirty runs enough varied work through a simulator to populate every
+// structure a Reset must clear: caches, rename state, ring cursors,
+// clocks and counters.
+func dirty(t *testing.T, s *Sim, app workload.App, seed uint64) {
+	t.Helper()
+	gen := workload.NewGen(app, seed)
+	s.Run(gen, 8_000)
+	if _, err := s.Reconfigure(vcore.Config{Slices: 5, L2KB: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(gen, 8_000)
+}
+
+// TestResetMatchesFresh is the recycled-simulator golden test: a Sim
+// that has executed real work and is then Reset must be observably
+// identical to a freshly constructed Sim — same run outputs, same
+// clocks, same counters — across configurations that grow and shrink
+// the slice count and the bank count in both directions.
+func TestResetMatchesFresh(t *testing.T) {
+	apps := workload.Apps()
+	appA, appB := apps[1].Scale(0.02), apps[5].Scale(0.02)
+	schedule := []vcore.Config{
+		{Slices: 8, L2KB: 4096}, // grow past the dirtying config
+		{Slices: 1, L2KB: 64},   // shrink to the n==1 fast path
+		{Slices: 4, L2KB: 512},  // regrow into retained (dirty) slices
+	}
+	for _, pol := range []SteeringPolicy{SteerEarliest, SteerRoundRobin} {
+		recycled, err := New(vcore.Config{Slices: 2, L2KB: 256}, slice.DefaultConfig(), pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirty(t, recycled, appA, 11)
+		for _, cfg := range schedule {
+			if err := recycled.Reset(cfg); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := New(cfg, slice.DefaultConfig(), pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := cfg.String()
+			compareSims(t, tag+"/pre", recycled, fresh)
+
+			gR := workload.NewGen(appB, 7)
+			gF := workload.NewGen(appB, 7)
+			iR, cR := recycled.Run(gR, 10_000)
+			iF, cF := fresh.Run(gF, 10_000)
+			if iR != iF || cR != cF {
+				t.Fatalf("%s: recycled Run (%d,%d) != fresh (%d,%d)", tag, iR, cR, iF, cF)
+			}
+			compareSims(t, tag+"/run", recycled, fresh)
+
+			// Leave the recycled sim dirty again for the next Reset.
+			dirty(t, recycled, appA, 13)
+		}
+	}
+}
+
+// TestSimPoolReuseMatchesFresh drives the Acquire/Release cycle the
+// worker pools use and requires pool-recycled simulators to reproduce a
+// fresh simulator's outputs exactly.
+func TestSimPoolReuseMatchesFresh(t *testing.T) {
+	app := workload.Apps()[2].Scale(0.02)
+	pool := NewSimPool(slice.DefaultConfig(), SteerEarliest)
+
+	// Populate the pool with a dirtied simulator.
+	s0, err := pool.Acquire(vcore.Config{Slices: 3, L2KB: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty(t, s0, app, 21)
+	pool.Release(s0)
+
+	cfg := vcore.Config{Slices: 6, L2KB: 1024}
+	got, err := pool.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Release(got)
+	fresh, err := New(cfg, slice.DefaultConfig(), SteerEarliest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gG := workload.NewGen(app, 5)
+	gF := workload.NewGen(app, 5)
+	iG, cG := got.Run(gG, 12_000)
+	iF, cF := fresh.Run(gF, 12_000)
+	if iG != iF || cG != cF {
+		t.Fatalf("pooled Run (%d,%d) != fresh (%d,%d)", iG, cG, iF, cF)
+	}
+	compareSims(t, "pooled", got, fresh)
+}
+
+// TestReleaseNilIsSafe guards the deferred-release idiom on error paths.
+func TestReleaseNilIsSafe(t *testing.T) {
+	NewSimPool(slice.DefaultConfig(), SteerEarliest).Release(nil)
+}

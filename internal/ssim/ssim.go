@@ -168,40 +168,50 @@ func MustNew(cfg vcore.Config, sliceCfg slice.Config, pol SteeringPolicy) *Sim {
 }
 
 // rebuild resizes the per-Slice structures after (re)configuration,
-// marking every resource free at cycle `at`.
+// marking every resource free at cycle `at`. Rings and tables are
+// refilled in place when their capacity allows — every entry is
+// rewritten, so reuse is invisible to the timing model (guarded by the
+// golden lockstep tests) but keeps reconfiguration and pooled-Sim
+// recycling allocation-free after the first build at each size.
 func (s *Sim) rebuild(at int64) {
 	s.n = s.vc.Config().Slices
-	ring := func(depth int) []int64 {
-		r := make([]int64, depth)
+	ring := func(r []int64, depth int) []int64 {
+		if cap(r) < depth {
+			r = make([]int64, depth)
+		}
+		r = r[:depth]
 		for j := range r {
 			r[j] = at
 		}
 		return r
 	}
-	s.lanes = make([]lane, s.n)
+	if cap(s.lanes) < s.n {
+		grown := make([]lane, s.n)
+		copy(grown, s.lanes[:cap(s.lanes)])
+		s.lanes = grown
+	}
+	s.lanes = s.lanes[:s.n]
 	for i := range s.lanes {
+		ln := &s.lanes[i]
 		sl := s.vc.Slice(i)
-		s.lanes[i] = lane{
-			sl:     sl,
-			l1i:    sl.L1I,
-			l1d:    sl.L1D,
-			win:    ring(s.scfg.IssueWindow),
-			loads:  ring(s.scfg.MaxInflightLoads),
-			stores: ring(s.scfg.StoreBufferSize),
-		}
+		ln.sl, ln.l1i, ln.l1d = sl, sl.L1I, sl.L1D
+		ln.win = ring(ln.win, s.scfg.IssueWindow)
+		ln.loads = ring(ln.loads, s.scfg.MaxInflightLoads)
+		ln.stores = ring(ln.stores, s.scfg.StoreBufferSize)
+		ln.winPos, ln.loadPos, ln.storePos = 0, 0, 0
 	}
 	for i := range s.aluFree {
 		s.aluFree[i] = at
 		s.lsuFree[i] = at
 		s.winHead[i] = at
 	}
-	s.rob = make([]int64, s.scfg.ROBSize*s.n)
-	for i := range s.rob {
-		s.rob[i] = at
-	}
+	s.rob = ring(s.rob, s.scfg.ROBSize*s.n)
 	s.robPos = 0
 	s.lastIBlock = ^uint64(0)
-	s.opLat = make([]int64, s.n*s.n)
+	if cap(s.opLat) < s.n*s.n {
+		s.opLat = make([]int64, s.n*s.n)
+	}
+	s.opLat = s.opLat[:s.n*s.n]
 	for p := 0; p < s.n; p++ {
 		for k := 0; k < s.n; k++ {
 			s.opLat[p*s.n+k] = int64(noc.OperandLatency(s.vc.SliceDistance(p, k)))
@@ -237,6 +247,28 @@ func (s *Sim) rebuild(at int64) {
 			s.regProd[g] = int16(s.vc.PrimaryHolder(isa.Reg(g)))
 		}
 	}
+}
+
+// Reset returns the simulator to the state New(cfg, sliceCfg, pol)
+// would construct, reusing the retained virtual core, lane rings, ROB
+// and staging buffer. A reset simulator produces bit-identical timing
+// for any instruction stream (guarded by the pooled golden tests),
+// which is what lets the oracle recycle simulators across
+// characterisation cells instead of reallocating ~megabytes per cell.
+func (s *Sim) Reset(cfg vcore.Config) error {
+	if err := s.vc.Reset(cfg); err != nil {
+		return err
+	}
+	s.fetchCycle, s.fetchCount = 0, 0
+	s.commitCycle, s.commitCount = 0, 0
+	s.committed = 0
+	s.bufN, s.bufI = 0, 0
+	for g := range s.regReady {
+		s.regReady[g] = 0
+		s.regProd[g] = -1
+	}
+	s.rebuild(0)
+	return nil
 }
 
 // Config returns the current virtual-core configuration.

@@ -17,7 +17,13 @@ type VCore struct {
 	sliceC slice.Config
 
 	slices []*slice.Slice
-	l2     *mem.BankedL2
+	// all retains every Slice ever built for this core, so shrink/expand
+	// cycles and full Resets reuse L1 tag arrays and rename storage
+	// instead of reallocating; slices is always all[:activeCount]. A
+	// rejoining Slice is wiped first, so retention is invisible to the
+	// timing model (a wiped Slice is bit-identical to a fresh one).
+	all []*slice.Slice
+	l2  *mem.BankedL2
 
 	// Global logical register state (§III-B1): which Slice holds the
 	// primary copy of each architectural register, and that register's
@@ -58,8 +64,9 @@ func New(cfg Config, sliceCfg slice.Config) (*VCore, error) {
 			return nil, err
 		}
 		v.attachSpillHandler(s, i)
-		v.slices = append(v.slices, s)
+		v.all = append(v.all, s)
 	}
+	v.slices = v.all
 	l2, err := mem.NewBankedL2(cfg.Banks())
 	if err != nil {
 		return nil, err
@@ -78,6 +85,42 @@ func MustNew(cfg Config, sliceCfg slice.Config) *VCore {
 		panic(err)
 	}
 	return v
+}
+
+// Reset returns the virtual core to the state New(cfg, sliceCfg) would
+// construct — caches cold, rename and global register namespaces empty,
+// reconfiguration statistics zeroed — while reusing every retained
+// Slice and L2 bank. Pooled simulators recycle a VCore per
+// characterisation cell through this instead of rebuilding the whole
+// hierarchy.
+func (v *VCore) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i < cfg.Slices; i++ {
+		if i < len(v.all) {
+			v.all[i].Reset()
+		} else {
+			s, err := slice.New(noc.NodeID(i), noc.Coord{X: 0, Y: i}, v.sliceC)
+			if err != nil {
+				return err
+			}
+			v.attachSpillHandler(s, i)
+			v.all = append(v.all, s)
+		}
+	}
+	v.slices = v.all[:cfg.Slices]
+	if err := v.l2.Reset(cfg.Banks()); err != nil {
+		return err
+	}
+	for g := range v.primary {
+		v.primary[g] = -1
+		v.version[g] = 0
+	}
+	v.writes = 0
+	v.stats = ReconfigStats{}
+	v.cfg = cfg
+	return nil
 }
 
 // Config returns the current configuration.
@@ -203,10 +246,17 @@ func (v *VCore) Reconfigure(to Config) (stall int64, err error) {
 // state, cold L1s); the existing pipeline is flushed (§VI-A: ~15 cycles).
 func (v *VCore) expandSlices(n int) int64 {
 	for i := len(v.slices); i < n; i++ {
-		s := slice.MustNew(noc.NodeID(i), noc.Coord{X: 0, Y: i}, v.sliceC)
-		v.attachSpillHandler(s, i)
-		v.slices = append(v.slices, s)
+		if i < len(v.all) {
+			// Rejoining a retained Slice: wipe it back to the cold state
+			// a freshly-built tile would join with.
+			v.all[i].Reset()
+		} else {
+			s := slice.MustNew(noc.NodeID(i), noc.Coord{X: 0, Y: i}, v.sliceC)
+			v.attachSpillHandler(s, i)
+			v.all = append(v.all, s)
+		}
 	}
+	v.slices = v.all[:n]
 	v.stats.SliceExpands++
 	return slice.ExpandCycles
 }

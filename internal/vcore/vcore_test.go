@@ -92,6 +92,68 @@ func TestShrinkCostBounded(t *testing.T) {
 	}
 }
 
+// TestResetMatchesFresh: a virtual core that has executed register
+// traffic, cache accesses and reconfigurations must, after Reset, be
+// observably identical to a newly built one — cold caches, cleared
+// rename state, zero counters — at configurations that reuse retained
+// slices and banks as well as ones that grow past them.
+func TestResetMatchesFresh(t *testing.T) {
+	v := MustNew(Config{Slices: 4, L2KB: 256}, slice.DefaultConfig())
+	// Dirty everything: register versions, primaries, caches, stats.
+	for g := 1; g <= 60; g++ {
+		v.RecordWrite(isa.Reg(g), g%4)
+		v.RecordRead(isa.Reg(g), (g+1)%4)
+	}
+	for a := uint64(0); a < 512*64; a += 64 {
+		v.L2().Access(a, true)
+		v.Slice(int(a/64)%4).L1D.Access(a, true)
+	}
+	if _, err := v.Reconfigure(Config{Slices: 6, L2KB: 1024}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cfg := range []Config{{Slices: 2, L2KB: 128}, {Slices: 8, L2KB: 4096}} {
+		if err := v.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		fresh := MustNew(cfg, slice.DefaultConfig())
+		if v.Config() != fresh.Config() {
+			t.Fatalf("config %s vs fresh %s", v.Config(), fresh.Config())
+		}
+		if v.Stats() != fresh.Stats() {
+			t.Errorf("%s: stats %+v vs fresh %+v", cfg, v.Stats(), fresh.Stats())
+		}
+		for g := 0; g < isa.NumGlobalRegs; g++ {
+			reg := isa.Reg(g)
+			if v.PrimaryHolder(reg) != fresh.PrimaryHolder(reg) || v.Version(reg) != fresh.Version(reg) {
+				t.Fatalf("%s: r%d primary/version (%d,%d) vs fresh (%d,%d)", cfg, g,
+					v.PrimaryHolder(reg), v.Version(reg), fresh.PrimaryHolder(reg), fresh.Version(reg))
+			}
+		}
+		// Identical access behaviour: cold caches and matching delays.
+		for a := uint64(0); a < 64*64; a += 64 {
+			hr, dr, wr := v.L2().Access(a, false)
+			hf, df, wf := fresh.L2().Access(a, false)
+			if hr != hf || dr != df || wr != wf {
+				t.Fatalf("%s: L2 %#x reset (%v,%d,%v) vs fresh (%v,%d,%v)", cfg, a, hr, dr, wr, hf, df, wf)
+			}
+		}
+		for i := 0; i < cfg.Slices; i++ {
+			if v.Slice(i).Counters != fresh.Slice(i).Counters {
+				t.Errorf("%s: slice %d counters %+v vs fresh %+v", cfg, i,
+					v.Slice(i).Counters, fresh.Slice(i).Counters)
+			}
+			if hit, _ := v.Slice(i).L1D.Access(0x40, false); hit {
+				t.Errorf("%s: slice %d L1D retained a line across Reset", cfg, i)
+			}
+		}
+		// Redirty between schedule points so the next Reset works harder.
+		for g := 1; g <= 30; g++ {
+			v.RecordWrite(isa.Reg(g), g%cfg.Slices)
+		}
+	}
+}
+
 func TestShrinkConservesRegisters(t *testing.T) {
 	v := MustNew(Config{Slices: 4, L2KB: 128}, slice.DefaultConfig())
 	versions := map[isa.Reg]uint64{}

@@ -40,6 +40,19 @@ func NewGen(app App, seed uint64) *Gen {
 	return g
 }
 
+// ResetTo repositions the generator at the start of a (possibly
+// different) application and seed, reusing the allocation; the result
+// is indistinguishable from NewGen(app, seed). It panics on an invalid
+// definition, exactly as NewGen would.
+func (g *Gen) ResetTo(app App, seed uint64) {
+	if err := app.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.Gen.ResetTo: %v", err))
+	}
+	g.app = app
+	g.seed = seed
+	g.Reset()
+}
+
 // Reset rewinds the generator to the beginning of the application.
 func (g *Gen) Reset() {
 	g.phase = 0
@@ -109,6 +122,18 @@ func NewPhaseGen(p Phase, phaseIndex int, seed uint64) *PhaseGen {
 	g := &PhaseGen{r: newRNG(seed)}
 	g.pg.init(&p, phaseIndex)
 	return g
+}
+
+// Reset repositions the generator at the start of a (possibly
+// different) phase stream, reusing the allocation; the result is
+// indistinguishable from NewPhaseGen(p, phaseIndex, seed). It panics
+// on an invalid phase, exactly as NewPhaseGen would.
+func (g *PhaseGen) Reset(p Phase, phaseIndex int, seed uint64) {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.PhaseGen.Reset: %v", err))
+	}
+	g.r = newRNG(seed)
+	g.pg.init(&p, phaseIndex)
 }
 
 // Next fills buf and returns len(buf); a phase stream never ends.
