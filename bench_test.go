@@ -19,10 +19,13 @@ import (
 	"strconv"
 	"testing"
 
+	"cash/internal/alloc"
+	"cash/internal/experiment"
 	"cash/internal/figs"
 	"cash/internal/oracle"
 	"cash/internal/par"
 	"cash/internal/ssim"
+	"cash/internal/stats"
 	"cash/internal/vcore"
 	"cash/internal/workload"
 )
@@ -224,6 +227,66 @@ func BenchmarkAblation_Steering(b *testing.B) {
 			b.ReportMetric(float64(totalInstr)/float64(totalCycle), "IPC")
 		})
 	}
+}
+
+// BenchmarkHistogramRecord measures the sparse-bucket latency
+// histogram's hot path: one Record call on a histogram that has spilled
+// past the exact-mode threshold into bucketed operation. The serving
+// engine calls this once per completed request, so it must stay O(1)
+// and allocation-free.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h stats.Histogram
+	// Pre-spill into bucketed mode with a spread of realistic latencies.
+	for v := int64(1); v < 1<<20; v = v*5/4 + 1 {
+		h.Record(v)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(50_000 + i%200_000))
+	}
+}
+
+// BenchmarkServerOpenLoop measures the open-loop serving engine under a
+// sustained flash-crowd overload against a bounded queue with deadline
+// shedding — the configuration the tail-latency study exercises. The
+// metric is served requests per wall-clock second; the benchmark also
+// guards that the run sheds (the overload is real) and stays inside the
+// queue cap.
+func BenchmarkServerOpenLoop(b *testing.B) {
+	var served, shed int64
+	for i := 0; i < b.N; i++ {
+		stream := &workload.ShapedStream{
+			BaseRate:         40,
+			InstrsPerRequest: 60_000,
+			Jitter:           0.1,
+			Seed:             3,
+			Shapes: []workload.RateShape{workload.FlashCrowd{
+				EveryMCycles: 4, Magnitude: 6,
+				RampMCycles: 0.3, HoldMCycles: 0.8, DecayMCycles: 0.9,
+				Seed: 3 ^ 0xf1a5,
+			}},
+		}
+		res, err := experiment.RunServer(alloc.Static{Cfg: vcore.Config{Slices: 4, L2KB: 512}},
+			experiment.ServerOpts{
+				Arrivals: stream,
+				Horizon:  10_000_000,
+				QueueCap: 64,
+				Shed:     experiment.ShedDeadline,
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		served += res.Served
+		shed += res.Shed + res.TimedOut
+		if res.MaxQueueDepth > 64 {
+			b.Fatalf("queue depth %d exceeded cap", res.MaxQueueDepth)
+		}
+	}
+	if shed == 0 {
+		b.Fatal("overload benchmark shed nothing")
+	}
+	b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "req/s")
 }
 
 // BenchmarkRuntimeDecide measures one iteration of Algorithm 1 on the

@@ -214,6 +214,16 @@ type ReproduceOptions struct {
 	FaultRate float64
 	FaultSeed uint64
 
+	// Stream, QueueCap, Shed and TailTarget parameterise the "tail"
+	// artifact's serving study: the arrival shape (see
+	// workload.StreamNames), the bounded-queue capacity, the shed
+	// policy ("drop-newest" or "deadline"; "" compares both) and the
+	// SLO tail budget in cycles. Zero values select the study defaults.
+	Stream     string
+	QueueCap   int
+	Shed       string
+	TailTarget int64
+
 	// Supervision: every (app, policy) cell of every artifact runs under
 	// a supervised executor — a panicking, erroring or hanging cell
 	// renders as FAILED(reason) while the rest of the report completes.
@@ -253,9 +263,9 @@ func DefaultJournalPath() string { return supervise.DefaultJournalPath() }
 
 // Reproduce regenerates a named artifact of the paper's evaluation
 // ("fig1", "fig2", "table1", "table2", "overhead", "fig7", "table3",
-// "fig8", "fig9", "fig10", "ablations", "reliability", or "all"),
-// writing the report to w. scale shrinks the workloads (1.0 = the full
-// evaluation).
+// "fig8", "fig9", "fig10", "ablations", "reliability", "tail", or
+// "all"), writing the report to w. scale shrinks the workloads (1.0 =
+// the full evaluation).
 func Reproduce(w io.Writer, artifact string, scale float64) error {
 	return ReproduceWith(w, artifact, ReproduceOptions{Scale: scale})
 }
@@ -274,6 +284,10 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 	}
 	h.FaultRate = o.FaultRate
 	h.FaultSeed = o.FaultSeed
+	h.StreamName = o.Stream
+	h.QueueCap = o.QueueCap
+	h.ShedName = o.Shed
+	h.TailTarget = o.TailTarget
 	h.Jobs = o.Jobs
 	h.SweepPar = o.SweepPar
 	h.CellTimeout = o.CellTimeout
@@ -320,6 +334,8 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 	case "reliability":
 		_, err := h.Reliability()
 		return err
+	case "tail":
+		return h.TailStudy()
 	case "all":
 		h.Table1()
 		h.Table2()
@@ -328,6 +344,7 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 			func() error { _, err := h.Fig10(); return err },
 			h.Ablations,
 			func() error { _, err := h.Reliability(); return err },
+			h.TailStudy,
 		} {
 			if err := f(); err != nil {
 				return err

@@ -6,10 +6,19 @@
 //	cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n]
 //	        [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n]
 //	        [-journal file] [-resume] [-v]
+//	        [-stream s] [-queue-cap n] [-shed p] [-tail-target n]
 //	        [-cpuprofile file] [-memprofile file] <artifact>
 //
 // where artifact is one of: fig1 fig2 table1 table2 overhead fig7
-// table3 fig8 fig9 fig10 ablations reliability all.
+// table3 fig8 fig9 fig10 ablations reliability tail all.
+//
+// The tail artifact is the open-loop serving study beyond Fig 9's
+// means: bounded-queue load shedding under bursty arrival streams, with
+// full tail quantiles (p50/p95/p99/p999), SLO-violation minutes and the
+// guard subsystem's tail-latency breaker. -stream picks the arrival
+// shape (sine, diurnal, flash, bursts), -queue-cap the admission bound,
+// -shed the overload policy (drop-newest or deadline) and -tail-target
+// the SLO tail budget in cycles.
 //
 // Every (app, policy) cell of every artifact runs under a supervised
 // executor: a panicking, erroring or hanging cell renders as
@@ -73,6 +82,10 @@ func main() {
 	journal := flag.String("journal", cash.DefaultJournalPath(), `crash-safe result journal ("-" disables)`)
 	resume := flag.Bool("resume", false, "replay journal-completed cells from an interrupted run")
 	verbose := flag.Bool("v", false, "print supervision diagnostics (retries, journal reuse) to stderr")
+	stream := flag.String("stream", "", `tail study: arrival shape (sine diurnal flash bursts; "" = default)`)
+	queueCap := flag.Int("queue-cap", 0, "tail study: bounded queue capacity (0 = default, negative = unbounded)")
+	shed := flag.String("shed", "", `tail study: shed policy (drop-newest deadline; "" compares both)`)
+	tailTarget := flag.Int64("tail-target", 0, "tail study: SLO tail budget in cycles (0 = the latency target)")
 	chaosMode := flag.Bool("chaos", false, "run the guardrail chaos soak instead of an artifact")
 	chaosSeeds := flag.Int("chaos-seeds", 20, "chaos soak: seeds per scenario")
 	chaosQuanta := flag.Int("chaos-quanta", 0, "chaos soak: control quanta per run (0 = default)")
@@ -82,7 +95,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
 		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-out file]\n\n")
-		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability all\n")
+		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability tail all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -150,6 +163,7 @@ func main() {
 		Scale: *scale, FaultRate: *faultRate, FaultSeed: *faultSeed,
 		Jobs: *jobs, SweepPar: *sweepPar, CellTimeout: *cellTimeout, MaxRetries: *maxRetries,
 		JournalPath: *journal, Resume: *resume, Log: log,
+		Stream: *stream, QueueCap: *queueCap, Shed: *shed, TailTarget: *tailTarget,
 	}
 	if err := cash.ReproduceWith(w, flag.Arg(0), opts); err != nil {
 		fail(err)

@@ -22,6 +22,12 @@ type Observation struct {
 	Instrs int64
 	// QoS is Instrs/Cycles (0 for idle steps).
 	QoS float64
+	// TailQoS is the serving engine's tail-latency signal: latency
+	// budget over the quantum's p99 request latency (pending-age
+	// floored), normalized so 1.0 means the tail exactly meets its
+	// target and values below 1 mean the tail is burning SLO. Zero
+	// when no tail signal exists (batch runs, idle steps).
+	TailQoS float64
 	// Idle marks time spent parked (not executing the application).
 	Idle bool
 	// L2Changed marks a step that began with an L2 reconfiguration:

@@ -287,6 +287,19 @@ func (r *Runtime) Iterations() int64 { return r.iterations }
 // Speedup returns the most recent control signal s(t).
 func (r *Runtime) Speedup() float64 { return r.lastSpeedup }
 
+// lastTailQoS extracts the quantum's tail-latency signal: the last
+// observation carrying one (the serving engine publishes TailQoS on
+// executed steps; batch runs never set it, leaving the tail breaker
+// inert).
+func lastTailQoS(prev []alloc.Observation) (float64, bool) {
+	for i := len(prev) - 1; i >= 0; i-- {
+		if prev[i].TailQoS > 0 {
+			return prev[i].TailQoS, true
+		}
+	}
+	return 0, false
+}
+
 // Decide implements alloc.Allocator: one iteration of Algorithm 1.
 func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	r.iterations++
@@ -416,21 +429,33 @@ func (r *Runtime) Decide(prev []alloc.Observation, tau int64) alloc.Plan {
 	// into the optimizer, so on exit the estimates are current.
 	rawTarget := r.ctrl.Target / (1 + r.opts.Margin)
 
-	// Guardrails, stage 4: the top-level QoS circuit breaker. After K
-	// consecutive violating epochs, optimization is abandoned outright
-	// and a safe statically-provisioned configuration (the largest) is
-	// pinned; optimization re-enters only after a cooldown of met-QoS
-	// epochs. The pinned plan bypasses the thrash limiter — safety
-	// outranks smoothness — but still respects fabric capacity backoff.
-	if r.guard != nil && r.guard.BreakerTick(measured, rawTarget, cycles > 0) {
-		big := r.opt.Largest()
-		if base > 0 {
-			r.lastPlanned = r.opt.QoSEstimate(big, base) / base
-		} else {
-			r.lastPlanned = 1
+	// Guardrails, stage 4: the top-level circuit breakers. The mean
+	// breaker opens after K consecutive epochs of violating mean QoS;
+	// the tail breaker opens on a windowed count of tail-SLO-violating
+	// epochs (serving runs publish a TailQoS signal — latency budget
+	// over p99 — which catches overload regimes where per-quantum means
+	// look fine or are absent entirely because nothing completes). With
+	// either breaker open, optimization is abandoned outright and a
+	// safe statically-provisioned configuration (the largest) is
+	// pinned; optimization re-enters only after that breaker's cooldown
+	// of met epochs. Both state machines tick every epoch so they trip
+	// and recover independently. The pinned plan bypasses the thrash
+	// limiter — safety outranks smoothness — but still respects fabric
+	// capacity backoff.
+	if r.guard != nil {
+		meanPinned := r.guard.BreakerTick(measured, rawTarget, cycles > 0)
+		tailMeasured, haveTail := lastTailQoS(prev)
+		tailPinned := r.guard.TailTick(tailMeasured, 1, haveTail)
+		if meanPinned || tailPinned {
+			big := r.opt.Largest()
+			if base > 0 {
+				r.lastPlanned = r.opt.QoSEstimate(big, base) / base
+			} else {
+				r.lastPlanned = 1
+			}
+			r.lastSpeedup = r.lastPlanned
+			return r.applyBackoff(alloc.Plan{Steps: []alloc.Step{{Config: big, MaxCycles: tau}}})
 		}
-		r.lastSpeedup = r.lastPlanned
-		return r.applyBackoff(alloc.Plan{Steps: []alloc.Step{{Config: big, MaxCycles: tau}}})
 	}
 
 	if cycles > 0 {

@@ -2,25 +2,27 @@ package experiment
 
 import "testing"
 
-// FuzzReqQueue drives the compacting FIFO with an arbitrary push/pop
-// script against a reference slice. Every pushed request must come out
-// exactly once, in arrival order, and the head-index invariants must
-// survive compaction no matter how the operations interleave.
+// FuzzReqQueue drives the ring queue with an arbitrary push/pop script
+// against a reference slice, alternating bounded and unbounded modes.
+// Every admitted request must come out exactly once, in arrival order;
+// bounded mode must reject exactly the pushes past the cap and its
+// backing storage must never exceed the cap.
 func FuzzReqQueue(f *testing.F) {
-	f.Add([]byte{})
-	f.Add([]byte{5, 0, 0, 3, 0})
-	f.Add([]byte{255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 1, 0})
-	f.Fuzz(func(t *testing.T, script []byte) {
-		var q reqQueue
+	f.Add(byte(0), []byte{})
+	f.Add(byte(8), []byte{5, 0, 0, 3, 0})
+	f.Add(byte(3), []byte{255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, capByte byte, script []byte) {
+		capN := int(capByte) // 0 = unbounded
+		q := newReqRing(capN)
 		var model []int64
 		next := int64(0)
 
 		check := func() {
-			if q.head < 0 || q.head > len(q.buf) {
-				t.Fatalf("head index out of range: head=%d len=%d", q.head, len(q.buf))
+			if q.len() != len(model) {
+				t.Fatalf("queue holds %d live entries, model %d", q.len(), len(model))
 			}
-			if live := len(q.buf) - q.head; live != len(model) {
-				t.Fatalf("queue holds %d live entries, model %d", live, len(model))
+			if capN > 0 && q.storageLen() > capN {
+				t.Fatalf("bounded storage %d exceeds cap %d", q.storageLen(), capN)
 			}
 			if q.empty() != (len(model) == 0) {
 				t.Fatalf("empty()=%v with %d modelled entries", q.empty(), len(model))
@@ -41,11 +43,16 @@ func FuzzReqQueue(f *testing.F) {
 				q.pop()
 				model = model[1:]
 			} else {
-				// A burst of op arrivals; bursts of up to 255 cross the
-				// compaction threshold quickly on longer scripts.
+				// A burst of op arrivals; bursts of up to 255 overflow
+				// small caps and force growth/wraparound in larger ones.
 				for i := byte(0); i < op; i++ {
-					q.push(request{arrival: next, remaining: 1})
-					model = append(model, next)
+					ok := q.push(request{arrival: next, remaining: 1})
+					if wantOK := capN == 0 || len(model) < capN; ok != wantOK {
+						t.Fatalf("push accepted=%v with %d queued, cap %d", ok, len(model), capN)
+					}
+					if ok {
+						model = append(model, next)
+					}
 					next++
 				}
 			}

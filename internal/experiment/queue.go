@@ -1,0 +1,88 @@
+package experiment
+
+// request is one queued unit of server work.
+type request struct {
+	arrival   int64
+	remaining int64
+}
+
+// reqRing is the serving engine's pending-request FIFO: a circular
+// buffer with an optional hard capacity. Bounded mode (capN > 0) is the
+// load-shedding configuration — the backing array never grows past the
+// cap, so a flash crowd costs O(cap) memory no matter how many arrivals
+// it brings; push reports false instead of growing and the caller
+// counts the request as shed. Unbounded mode (capN == 0) doubles the
+// ring on demand; unlike the old head-index slice it never retains a
+// dead prefix, so memory tracks the peak live depth, not the total
+// requests served.
+type reqRing struct {
+	buf  []request
+	head int // index of the front element
+	n    int // live count
+	capN int // hard capacity; 0 = unbounded
+}
+
+// newReqRing builds a queue with the given capacity (0 = unbounded).
+// Storage grows lazily toward the cap, so a lightly-loaded run never
+// pays for headroom it does not use.
+func newReqRing(capN int) *reqRing {
+	if capN < 0 {
+		capN = 0
+	}
+	return &reqRing{capN: capN}
+}
+
+func (q *reqRing) len() int    { return q.n }
+func (q *reqRing) empty() bool { return q.n == 0 }
+
+// full reports whether a bounded queue is at capacity.
+func (q *reqRing) full() bool { return q.capN > 0 && q.n >= q.capN }
+
+// push appends a request, reporting false (shed) when the queue is at
+// its hard cap.
+func (q *reqRing) push(r request) bool {
+	if q.full() {
+		return false
+	}
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+	return true
+}
+
+// grow doubles the ring (clamped to the cap), re-linearizing the live
+// window to the front of the new buffer.
+func (q *reqRing) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	if q.capN > 0 && newCap > q.capN {
+		newCap = q.capN
+	}
+	nb := make([]request, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// front returns the oldest request. The queue must not be empty.
+func (q *reqRing) front() *request { return &q.buf[q.head] }
+
+// pop discards the front request.
+func (q *reqRing) pop() {
+	q.buf[q.head] = request{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if q.n == 0 {
+		q.head = 0
+	}
+}
+
+// storageLen exposes the backing-array length for the bounded-memory
+// tests: in bounded mode it must never exceed the cap.
+func (q *reqRing) storageLen() int { return len(q.buf) }

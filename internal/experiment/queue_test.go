@@ -9,25 +9,29 @@ import (
 	"cash/internal/workload"
 )
 
-// TestReqQueueProperty drives the head-index queue with random arrival
-// bursts against a reference FIFO: every pushed request must be served
-// exactly once, in order, and the head/len invariants must hold across
-// compactions.
-func TestReqQueueProperty(t *testing.T) {
+// TestReqRingProperty drives the ring queue with random arrival bursts
+// against a reference FIFO, in both bounded and unbounded modes: every
+// admitted request must be served exactly once, in order, and bounded
+// mode must reject exactly the pushes that would exceed the cap.
+func TestReqRingProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 20; trial++ {
-		var q reqQueue
+		capN := 0
+		if trial%2 == 1 {
+			capN = 1 + rng.Intn(64)
+		}
+		q := newReqRing(capN)
 		var model []int64 // reference FIFO of arrival ids
 		served := make(map[int64]int)
 		nextID := int64(0)
-		compactions := 0
+		admitted := int64(0)
 
 		check := func() {
-			if q.head < 0 || q.head > len(q.buf) {
-				t.Fatalf("invariant broken: head=%d len=%d", q.head, len(q.buf))
+			if q.len() != len(model) {
+				t.Fatalf("len %d, model %d", q.len(), len(model))
 			}
-			if live := len(q.buf) - q.head; live != len(model) {
-				t.Fatalf("live length %d, model %d", live, len(model))
+			if capN > 0 && q.storageLen() > capN {
+				t.Fatalf("bounded ring grew storage to %d past cap %d", q.storageLen(), capN)
 			}
 			if !q.empty() && q.front().arrival != model[0] {
 				t.Fatalf("front %d, model front %d", q.front().arrival, model[0])
@@ -38,18 +42,20 @@ func TestReqQueueProperty(t *testing.T) {
 			if burst := rng.Intn(4); rng.Float64() < 0.45 {
 				// A burst of arrivals.
 				for i := 0; i <= burst; i++ {
-					q.push(request{arrival: nextID, remaining: 1})
-					model = append(model, nextID)
+					ok := q.push(request{arrival: nextID, remaining: 1})
+					if wantOK := capN == 0 || len(model) < capN; ok != wantOK {
+						t.Fatalf("push accepted=%v with %d queued, cap %d", ok, len(model), capN)
+					}
+					if ok {
+						model = append(model, nextID)
+						admitted++
+					}
 					nextID++
 				}
 			} else if !q.empty() {
 				// Serve the front request.
 				id := q.front().arrival
-				beforeHead := q.head
 				q.pop()
-				if q.head < beforeHead+1 {
-					compactions++
-				}
 				served[id]++
 				if served[id] > 1 {
 					t.Fatalf("request %d served twice", id)
@@ -75,31 +81,69 @@ func TestReqQueueProperty(t *testing.T) {
 			model = model[1:]
 			check()
 		}
-		if int64(len(served)) != nextID {
-			t.Fatalf("served %d distinct requests, pushed %d", len(served), nextID)
+		if int64(len(served)) != admitted {
+			t.Fatalf("served %d distinct requests, admitted %d", len(served), admitted)
 		}
 	}
 }
 
-// TestReqQueueCompacts forces the dead prefix past the threshold and
-// checks that compaction actually reclaims it without losing entries.
-func TestReqQueueCompacts(t *testing.T) {
-	var q reqQueue
-	n := compactThreshold * 3
-	for i := 0; i < n; i++ {
-		q.push(request{arrival: int64(i), remaining: 1})
+// TestReqRingBounded: a bounded ring's backing storage must never
+// exceed the cap, and a full ring must shed (reject) pushes while
+// continuing to serve in order.
+func TestReqRingBounded(t *testing.T) {
+	const capN = 32
+	q := newReqRing(capN)
+	for i := 0; i < capN; i++ {
+		if !q.push(request{arrival: int64(i), remaining: 1}) {
+			t.Fatalf("push %d rejected below cap", i)
+		}
 	}
-	for i := 0; i < n-1; i++ {
+	if !q.full() {
+		t.Fatal("ring not full at cap")
+	}
+	// 10x the cap in overflow arrivals: all must shed, storage must hold.
+	for i := 0; i < 10*capN; i++ {
+		if q.push(request{arrival: int64(capN + i), remaining: 1}) {
+			t.Fatalf("push accepted at cap (i=%d)", i)
+		}
+		if q.storageLen() > capN {
+			t.Fatalf("storage %d exceeded cap %d", q.storageLen(), capN)
+		}
+	}
+	// Pop one, push one — the ring must wrap without growing.
+	for i := 0; i < 5*capN; i++ {
+		want := int64(i)
+		if got := q.front().arrival; got != want {
+			t.Fatalf("front %d, want %d", got, want)
+		}
+		q.pop()
+		if !q.push(request{arrival: int64(capN + i), remaining: 1}) {
+			t.Fatalf("push rejected with a free slot (i=%d)", i)
+		}
+		if q.storageLen() > capN {
+			t.Fatalf("storage %d exceeded cap %d after wrap", q.storageLen(), capN)
+		}
+	}
+}
+
+// TestReqRingUnboundedGrows: unbounded mode keeps accepting and keeps
+// FIFO order across growth re-linearizations.
+func TestReqRingUnboundedGrows(t *testing.T) {
+	q := newReqRing(0)
+	n := 10_000
+	for i := 0; i < n; i++ {
+		if !q.push(request{arrival: int64(i), remaining: 1}) {
+			t.Fatalf("unbounded push %d rejected", i)
+		}
+	}
+	for i := 0; i < n; i++ {
 		if got := q.front().arrival; got != int64(i) {
 			t.Fatalf("front = %d, want %d", got, i)
 		}
 		q.pop()
 	}
-	if q.head >= compactThreshold && q.head*2 >= len(q.buf) {
-		t.Errorf("dead prefix never compacted: head=%d len=%d", q.head, len(q.buf))
-	}
-	if q.empty() || q.front().arrival != int64(n-1) {
-		t.Fatal("compaction lost the live tail")
+	if !q.empty() {
+		t.Fatal("queue not empty after full drain")
 	}
 }
 

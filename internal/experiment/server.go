@@ -2,30 +2,108 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"cash/internal/alloc"
 	"cash/internal/cost"
 	"cash/internal/guard"
+	"cash/internal/stats"
 	"cash/internal/workload"
 )
 
-// Server-mode experiment (Fig 9): an interactive server processes an
-// open-loop, oscillating request stream; QoS is request latency against
-// a cycles-per-request budget rather than IPC. The allocator sees
-// QoS(t) = targetLatency / currentLatency, so "1.0" means exactly
-// meeting the latency target and the generic controllers regulate it
-// like any other QoS signal.
+// Server-mode experiment (Fig 9 and the tail-latency study): an
+// interactive server processes an open-loop request stream; QoS is
+// request latency against a cycles-per-request budget rather than IPC.
+// The allocator sees QoS(t) = targetLatency / currentLatency, so "1.0"
+// means exactly meeting the latency target and the generic controllers
+// regulate it like any other QoS signal.
+//
+// The serving engine is open-loop and overload-safe: arrivals the
+// bounded queue cannot hold are shed (counted, never silently dropped),
+// per-request latencies feed an HDR-style histogram so results report
+// tail quantiles (p50/p95/p99/p999) and SLO-violation minutes alongside
+// the means the paper plots, and each control quantum publishes a tail
+// QoS signal (budget over p99, pending age included) that the guard
+// subsystem's tail breaker consumes.
+
+// ShedPolicy selects how the serving engine degrades under overload.
+type ShedPolicy int
+
+const (
+	// ShedDropNewest drops arrivals that find the queue at its cap (the
+	// classic bounded-queue policy: reject new work, finish admitted
+	// work). This is the default.
+	ShedDropNewest ShedPolicy = iota
+	// ShedDeadline additionally sheds queued requests whose sojourn
+	// already exceeds DeadlineFactor × the latency budget before they
+	// reach the server: their SLO is unrecoverably blown, so serving
+	// them would spend capacity making every later request slower too.
+	ShedDeadline
+)
+
+// String names the policy for reports and flags.
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedDropNewest:
+		return "drop-newest"
+	case ShedDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("ShedPolicy(%d)", int(p))
+	}
+}
+
+// ShedPolicyByName parses a -shed flag value.
+func ShedPolicyByName(name string) (ShedPolicy, error) {
+	switch name {
+	case "", "drop-newest", "newest":
+		return ShedDropNewest, nil
+	case "deadline":
+		return ShedDeadline, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown shed policy %q (have drop-newest, deadline)", name)
+	}
+}
+
+// DefaultQueueCap bounds the pending-request queue when ServerOpts
+// leaves QueueCap zero. At the Fig 9 service time (~tens of Kcycles per
+// request) a 4096-deep queue already represents latencies two orders of
+// magnitude past any SLO — deeper queues only convert memory into dead
+// requests.
+const DefaultQueueCap = 4096
 
 // ServerOpts configure a server run.
 type ServerOpts struct {
 	Opts
-	// Stream generates request arrivals.
+	// Stream generates request arrivals (the paper's sinusoid). Ignored
+	// when Arrivals is set.
 	Stream *workload.RequestStream
+	// Arrivals, when non-nil, supplies the arrival process instead of
+	// Stream: any seeded deterministic generator (diurnal cycles, flash
+	// crowds, correlated tenant bursts — see workload.StreamByName).
+	Arrivals workload.ArrivalStream
 	// TargetLatencyCycles is the per-request latency budget (the paper
 	// uses 110K cycles for apache).
 	TargetLatencyCycles int64
 	// Horizon ends the run after this many cycles.
 	Horizon int64
+
+	// QueueCap bounds the pending-request queue: arrivals beyond it are
+	// shed rather than queued (0 = DefaultQueueCap; negative =
+	// unbounded, the pre-shedding behaviour, which admits unbounded
+	// memory and unbounded latency under sustained overload).
+	QueueCap int
+	// Shed selects the overload policy (default ShedDropNewest).
+	Shed ShedPolicy
+	// DeadlineFactor tunes ShedDeadline: queued requests older than
+	// DeadlineFactor × TargetLatencyCycles are shed before service
+	// (default 4).
+	DeadlineFactor float64
+	// TailTargetCycles is the SLO tail budget: a quantum whose p99
+	// request latency (or oldest pending age, when nothing completes)
+	// exceeds it counts as an SLO-violating quantum (default =
+	// TargetLatencyCycles).
+	TailTargetCycles int64
 }
 
 // ServerSample is one control quantum of a server run.
@@ -34,13 +112,29 @@ type ServerSample struct {
 	// RequestRate is the arrival rate over the quantum (requests per
 	// million cycles).
 	RequestRate float64
-	// Latency is the mean latency of requests completed in the quantum.
+	// Latency is the mean latency of requests completed in the quantum
+	// (0 when none completed — see Starved).
 	Latency float64
 	// NormLatency is Latency over the target (>1 = violating).
 	NormLatency float64
-	CostRate    float64
-	Violated    bool
-	Completed   int
+	// P99 is the quantum's tail latency: the p99 of completions, or the
+	// oldest pending request's age when nothing completed under load.
+	P99      float64
+	CostRate float64
+	Violated bool
+	// Starved marks a quantum that completed nothing while requests
+	// were pending: the saturated regime in which mean-based accounting
+	// has no sample at all. Starved quanta are excluded from the
+	// on-target (mean) accounting and count as SLO tail violations.
+	Starved   bool
+	Completed int
+	// Shed counts arrivals dropped at the queue cap this quantum;
+	// TimedOut counts queued requests shed past their deadline
+	// (ShedDeadline only).
+	Shed     int
+	TimedOut int
+	// QueueDepth is the pending-queue depth at quantum end.
+	QueueDepth int
 }
 
 // ServerResult is a completed server run.
@@ -54,6 +148,24 @@ type ServerResult struct {
 	ViolationRate float64
 	Served        int64
 
+	// Tail latency over all completed requests (cycles).
+	P50, P95, P99, P999 float64
+	// Shed counts arrivals dropped at the queue cap; TimedOut counts
+	// queued requests shed past their deadline.
+	Shed     int64
+	TimedOut int64
+	// SLOViolationMinutes is simulated wall-clock (at the billing
+	// clock) spent in quanta whose tail latency exceeded the SLO tail
+	// budget — the serving metric that survives overload, since starved
+	// quanta count here even though they produce no latency samples.
+	SLOViolationMinutes float64
+	// TailViolations counts those quanta; StarvedSamples counts quanta
+	// that completed nothing while work was pending.
+	TailViolations int
+	StarvedSamples int
+	// MaxQueueDepth is the deepest the pending queue ever got.
+	MaxQueueDepth int
+
 	FaultStats
 
 	// Guard carries guardrail trip counters when the policy runs with
@@ -61,37 +173,48 @@ type ServerResult struct {
 	Guard guard.Stats
 }
 
-type request struct {
-	arrival   int64
-	remaining int64
-}
-
-// reqQueue is a FIFO of pending requests with an explicit head index:
-// popping by reslicing (queue = queue[1:]) would pin every served
-// request in the backing array for the whole run, so served entries are
-// instead compacted away once the dead prefix dominates the slice.
-type reqQueue struct {
-	buf  []request
-	head int
-}
-
-// compactThreshold is the minimum dead prefix before compaction; below
-// it the copy traffic would outweigh the retained memory.
-const compactThreshold = 1024
-
-func (q *reqQueue) push(r request)  { q.buf = append(q.buf, r) }
-func (q *reqQueue) empty() bool     { return q.head == len(q.buf) }
-func (q *reqQueue) front() *request { return &q.buf[q.head] }
-
-// pop discards the front request, compacting when at least
-// compactThreshold entries are dead and they are the majority.
-func (q *reqQueue) pop() {
-	q.head++
-	if q.head >= compactThreshold && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
+func (o ServerOpts) withServerDefaults() (ServerOpts, error) {
+	if o.Arrivals == nil {
+		if o.Stream != nil {
+			o.Arrivals = o.Stream
+		} else {
+			o.Arrivals = workload.DefaultApacheStream()
+		}
 	}
+	if err := o.Arrivals.Validate(); err != nil {
+		return o, err
+	}
+	if o.TargetLatencyCycles < 0 {
+		return o, fmt.Errorf("experiment: target latency %d must be non-negative", o.TargetLatencyCycles)
+	}
+	if o.TargetLatencyCycles == 0 {
+		o.TargetLatencyCycles = 110_000
+	}
+	if o.Horizon < 0 {
+		return o, fmt.Errorf("experiment: horizon %d must be non-negative", o.Horizon)
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 240_000_000 // a few full load swings (Fig 9)
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = DefaultQueueCap
+	}
+	if o.Shed != ShedDropNewest && o.Shed != ShedDeadline {
+		return o, fmt.Errorf("experiment: unknown shed policy %d", int(o.Shed))
+	}
+	if math.IsNaN(o.DeadlineFactor) || math.IsInf(o.DeadlineFactor, 0) || o.DeadlineFactor < 0 {
+		return o, fmt.Errorf("experiment: deadline factor %v must be non-negative and finite", o.DeadlineFactor)
+	}
+	if o.DeadlineFactor == 0 {
+		o.DeadlineFactor = 4
+	}
+	if o.TailTargetCycles < 0 {
+		return o, fmt.Errorf("experiment: tail target %d must be non-negative", o.TailTargetCycles)
+	}
+	if o.TailTargetCycles == 0 {
+		o.TailTargetCycles = o.TargetLatencyCycles
+	}
+	return o, nil
 }
 
 // RunServer executes the apache experiment under a policy.
@@ -100,23 +223,9 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	if err := o.validateCommon(); err != nil {
 		return ServerResult{}, err
 	}
-	if opts.Stream == nil {
-		opts.Stream = workload.DefaultApacheStream()
-	}
-	if err := opts.Stream.Validate(); err != nil {
+	opts, err := opts.withServerDefaults()
+	if err != nil {
 		return ServerResult{}, err
-	}
-	if opts.TargetLatencyCycles < 0 {
-		return ServerResult{}, fmt.Errorf("experiment: target latency %d must be non-negative", opts.TargetLatencyCycles)
-	}
-	if opts.TargetLatencyCycles == 0 {
-		opts.TargetLatencyCycles = 110_000
-	}
-	if opts.Horizon < 0 {
-		return ServerResult{}, fmt.Errorf("experiment: horizon %d must be non-negative", opts.Horizon)
-	}
-	if opts.Horizon == 0 {
-		opts.Horizon = 240_000_000 // a few full load swings (Fig 9)
 	}
 	sim, err := newSim(o)
 	if err != nil {
@@ -125,8 +234,10 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	if o.Sims != nil {
 		defer o.Sims.Release(sim)
 	}
-	opts.Stream.Reset()
-	phase := workload.RequestPhase(opts.Stream.InstrsPerRequest)
+	stream := opts.Arrivals
+	stream.Reset()
+	work := stream.Work()
+	phase := workload.RequestPhase(work)
 	gen := workload.NewPhaseGen(phase, 0, o.Seed)
 
 	res := ServerResult{Allocator: policy.Name()}
@@ -134,16 +245,44 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 	if err != nil {
 		return ServerResult{}, err
 	}
-	var queue reqQueue
-	nextArrival := opts.Stream.NextArrival()
+	queue := newReqRing(opts.QueueCap)
+	nextArrival := stream.NextArrival()
 	var latencySum float64
 	var latencyN int64
+	var hist, qHist stats.Histogram
+	deadline := int64(opts.DeadlineFactor * float64(opts.TargetLatencyCycles))
+	var qShed, qTimedOut int
 
-	// admit moves arrivals at or before the clock into the queue.
+	// admit moves arrivals at or before the clock into the queue;
+	// arrivals that find it full are shed (drop-newest) — the stream is
+	// open-loop, so the request happened whether or not we had room.
 	admit := func(now int64) {
 		for nextArrival <= now {
-			queue.push(request{arrival: nextArrival, remaining: opts.Stream.InstrsPerRequest})
-			nextArrival = opts.Stream.NextArrival()
+			if queue.push(request{arrival: nextArrival, remaining: work}) {
+				if queue.len() > res.MaxQueueDepth {
+					res.MaxQueueDepth = queue.len()
+				}
+			} else {
+				qShed++
+			}
+			nextArrival = stream.NextArrival()
+		}
+	}
+
+	// expire sheds queued requests already past their deadline (only
+	// untouched ones — work already invested in a partially-served
+	// front request is never thrown away).
+	expire := func(now int64) {
+		if opts.Shed != ShedDeadline {
+			return
+		}
+		for !queue.empty() {
+			front := queue.front()
+			if front.remaining != work || now-front.arrival <= deadline {
+				return
+			}
+			queue.pop()
+			qTimedOut++
 		}
 	}
 
@@ -160,7 +299,9 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 		var qCost float64
 		var qLatSum float64
 		var qLatN int
-		arrivalsBefore := opts.Stream.Issued()
+		qHist.Reset()
+		qShed, qTimedOut = 0, 0
+		arrivalsBefore := stream.Issued()
 
 		remaining := o.Tau
 		tickFaults := func() error {
@@ -200,6 +341,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 				// The server cannot idle with work queued; idle steps
 				// only skip genuinely empty time.
 				admit(sim.Cycle())
+				expire(sim.Cycle())
 				if queue.empty() {
 					idle := budget
 					if nextArrival > sim.Cycle() && nextArrival-sim.Cycle() < idle {
@@ -216,7 +358,10 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 			if target != sim.Config() {
 				stall, err := sim.Reconfigure(target)
 				if err != nil {
-					return ServerResult{}, fmt.Errorf("experiment: server reconfiguring: %w", err)
+					// Return the partial result: callers keep the fault
+					// counters and samples accumulated so far, exactly as
+					// the fault/hook error paths do.
+					return res, fmt.Errorf("experiment: server reconfiguring: %w", err)
 				}
 				budget -= stall
 				remaining -= stall
@@ -230,6 +375,7 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 			stepEnd := sim.Cycle() + budget
 			for sim.Cycle() < stepEnd {
 				admit(sim.Cycle())
+				expire(sim.Cycle())
 				if queue.empty() {
 					// Empty queue: wait (free) for the next arrival.
 					idle := stepEnd - sim.Cycle()
@@ -251,11 +397,12 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 				ob.Instrs += n
 				qCost += o.Model.Charge(target, c)
 				if req.remaining <= 0 {
-					lat := float64(sim.Cycle() - req.arrival)
-					qLatSum += lat
+					lat := sim.Cycle() - req.arrival
+					qLatSum += float64(lat)
 					qLatN++
-					latencySum += lat
+					latencySum += float64(lat)
 					latencyN++
+					qHist.Record(lat)
 					res.Served++
 					queue.pop()
 				}
@@ -270,6 +417,13 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 					ob.QoS = float64(opts.TargetLatencyCycles) / (qLatSum / float64(qLatN))
 				} else {
 					ob.QoS = 1
+				}
+				// The tail signal: budget over the quantum's p99 — with
+				// the oldest pending request's age as the floor, so a
+				// saturated quantum that completes nothing still reads
+				// as violating instead of silent.
+				if tail := quantumTail(&qHist, queue, sim.Cycle()); tail > 0 {
+					ob.TailQoS = float64(opts.TargetLatencyCycles) / tail
 				}
 			}
 			prev = append(prev, ob)
@@ -297,35 +451,80 @@ func RunServer(policy alloc.Allocator, opts ServerOpts) (ServerResult, error) {
 			sim.AdvanceIdle(jump)
 			continue
 		}
-		lat := float64(opts.TargetLatencyCycles) // optimistic when nothing completed
-		if qLatN > 0 {
-			lat = qLatSum / float64(qLatN)
-		}
-		norm := lat / float64(opts.TargetLatencyCycles)
-		arr := float64(opts.Stream.Issued()-arrivalsBefore) / (float64(qCycles) / 1e6)
 		s := ServerSample{
 			Cycle:       sim.Cycle(),
-			RequestRate: arr,
-			Latency:     lat,
-			NormLatency: norm,
+			RequestRate: float64(stream.Issued()-arrivalsBefore) / (float64(qCycles) / 1e6),
 			CostRate:    qCost / (float64(qCycles) / cost.CyclesPerHour),
-			Violated:    norm > 1+o.Tolerance,
 			Completed:   qLatN,
+			Shed:        qShed,
+			TimedOut:    qTimedOut,
+			QueueDepth:  queue.len(),
+		}
+		switch {
+		case qLatN > 0:
+			s.Latency = qLatSum / float64(qLatN)
+			s.NormLatency = s.Latency / float64(opts.TargetLatencyCycles)
+			s.Violated = s.NormLatency > 1+o.Tolerance
+		case !queue.empty():
+			// Saturated and silent: nothing completed while work was
+			// pending. There is no mean-latency sample to judge — the
+			// old accounting scored this quantum as on-target, which is
+			// exactly how average-based monitoring goes blind under
+			// overload. Mark it instead of inventing an optimistic mean.
+			s.Starved = true
+			res.StarvedSamples++
+		default:
+			// Genuinely idle quantum (no demand): on-target by
+			// definition, as before.
+			s.Latency = float64(opts.TargetLatencyCycles)
+			s.NormLatency = 1
+		}
+		s.P99 = quantumTail(&qHist, queue, sim.Cycle())
+		if s.P99 > float64(opts.TailTargetCycles) {
+			res.TailViolations++
+			res.SLOViolationMinutes += float64(qCycles) / cost.CyclesPerHour * 60
 		}
 		res.Samples = append(res.Samples, s)
 		res.TotalCost += qCost
+		res.Shed += int64(qShed)
+		res.TimedOut += int64(qTimedOut)
 		if s.Violated {
 			res.Violations++
 		}
+		hist.Merge(&qHist)
 	}
 	if latencyN > 0 {
 		res.MeanLatency = latencySum / float64(latencyN)
 	}
-	if len(res.Samples) > 0 {
-		res.ViolationRate = float64(res.Violations) / float64(len(res.Samples))
+	// Starved quanta carry no mean-latency sample; excluding them from
+	// the denominator keeps the violation rate an honest statement
+	// about the quanta that were actually judged.
+	if judged := len(res.Samples) - res.StarvedSamples; judged > 0 {
+		res.ViolationRate = float64(res.Violations) / float64(judged)
 	}
+	res.P50 = hist.Quantile(0.50)
+	res.P95 = hist.Quantile(0.95)
+	res.P99 = hist.Quantile(0.99)
+	res.P999 = hist.Quantile(0.999)
 	if gs, ok := policy.(guardStatser); ok {
 		res.Guard = gs.GuardStats()
 	}
 	return res, nil
+}
+
+// quantumTail is the quantum's effective tail latency: the p99 of its
+// completions, floored by the oldest pending request's age. A quantum
+// that completes nothing while requests wait has no latency samples at
+// all — its pending age IS the tail.
+func quantumTail(qHist *stats.Histogram, queue *reqRing, now int64) float64 {
+	tail := 0.0
+	if qHist.Count() > 0 {
+		tail = qHist.Quantile(0.99)
+	}
+	if !queue.empty() {
+		if age := float64(now - queue.front().arrival); age > tail {
+			tail = age
+		}
+	}
+	return tail
 }

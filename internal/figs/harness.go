@@ -42,6 +42,23 @@ type Harness struct {
 	// its default).
 	FaultSeed uint64
 
+	// Tail-study knobs (the "tail" artifact); zero values select the
+	// study's defaults. cmd/cashsim maps -stream/-queue-cap/-shed/
+	// -tail-target onto these.
+
+	// StreamName picks the arrival shape (workload.StreamNames; "" =
+	// the study's default, "flash").
+	StreamName string
+	// QueueCap bounds the serving queue in the bounded variants (0 =
+	// the study default, 256).
+	QueueCap int
+	// ShedName restricts the bounded variants to one shed policy
+	// ("drop-newest" or "deadline"; "" compares both).
+	ShedName string
+	// TailTarget is the SLO tail budget in cycles (0 = the latency
+	// target).
+	TailTarget int64
+
 	// Supervision knobs: every figure/table enumerates its (app,
 	// policy) cells through a supervised executor, so one panicking or
 	// hanging cell degrades to a FAILED(...) entry instead of losing

@@ -98,6 +98,19 @@ type SeedResult struct {
 	QoSViolations   int
 	MaxSampleStreak int
 	Panicked        bool
+
+	// Server-overload evidence (load-spike scenario only): the same
+	// seed also drives an open-loop serving run through a flash-crowd
+	// arrival stream that oversubscribes the fabric, asserting that the
+	// bounded queue sheds instead of growing and that the tail breaker
+	// sees the overload the per-quantum means miss.
+	ServerShed           int64
+	ServerTimedOut       int64
+	ServerMeanViolations int // quanta violating by mean latency
+	ServerTailViolations int // quanta violating by p99/pending age
+	ServerStarved        int // quanta that completed nothing under load
+	ServerTailTrips      int64
+	ServerMaxQueueDepth  int
 }
 
 // Report is a completed soak.
@@ -460,7 +473,102 @@ func runSeed(s scenario, seed uint64, opts Options) (res SeedResult) {
 	}
 
 	res.Digest = digest(result)
+
+	// The load-spike scenario also soaks the serving path: an open-loop
+	// flash-crowd stream that oversubscribes the fabric by construction.
+	// The run must complete with bounded queue memory (the cap is the
+	// invariant), and with guardrails on the tail breaker must see the
+	// overload — the per-quantum mean signal largely cannot, because a
+	// saturated quantum completes few or no requests.
+	if s.name == "load-spike" {
+		serverOverload(&res, seed, opts)
+	}
 	return res
+}
+
+// serverQueueCap bounds the overload sub-run's pending queue; small
+// enough that flash crowds overflow it within a quantum.
+const serverQueueCap = 64
+
+// serverOverload drives one guarded serving run through sustained
+// overload and folds its outcome into the seed's result and digest.
+func serverOverload(res *SeedResult, seed uint64, opts Options) {
+	rt, err := cashrt.New(1.0, cost.Default(), cashrt.Options{
+		Seed:         seed | 1,
+		SingleConfig: true,
+		GuardStyle:   cashrt.GuardCommitted,
+		Margin:       0.15,
+		Guardrails:   opts.Guardrails,
+	})
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("constructing server runtime: %v", err))
+		return
+	}
+	// Demand: 40 req/Mcycle × 60K instrs ≈ IPC 2.4 sustained before the
+	// 7× flash crowds land — beyond what the fabric delivers, so the
+	// queue saturates and sheds no matter what the allocator does.
+	stream := &workload.ShapedStream{
+		BaseRate:         40,
+		InstrsPerRequest: 60_000,
+		Jitter:           0.1,
+		Seed:             seed,
+		Shapes: []workload.RateShape{workload.FlashCrowd{
+			EveryMCycles: 4, Magnitude: 6,
+			RampMCycles: 0.3, HoldMCycles: 0.8, DecayMCycles: 0.9,
+			Seed: seed ^ 0xf1a5,
+		}},
+	}
+	sres, err := experiment.RunServer(rt, experiment.ServerOpts{
+		Opts:     experiment.Opts{Tau: opts.Tau, Seed: seed | 1, Sims: simPool},
+		Arrivals: stream,
+		Horizon:  int64(opts.Quanta) * opts.Tau,
+		QueueCap: serverQueueCap,
+		Shed:     experiment.ShedDeadline,
+	})
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("server overload run failed: %v", err))
+		return
+	}
+	res.ServerShed = sres.Shed
+	res.ServerTimedOut = sres.TimedOut
+	res.ServerMeanViolations = sres.Violations
+	res.ServerTailViolations = sres.TailViolations
+	res.ServerStarved = sres.StarvedSamples
+	res.ServerTailTrips = sres.Guard.TailTrips
+	res.ServerMaxQueueDepth = sres.MaxQueueDepth
+	res.Guard.TailTrips += sres.Guard.TailTrips
+	res.Guard.TailRecoveries += sres.Guard.TailRecoveries
+	res.Guard.TailPinnedEpochs += sres.Guard.TailPinnedEpochs
+
+	if sres.MaxQueueDepth > serverQueueCap {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"server queue depth %d exceeded cap %d", sres.MaxQueueDepth, serverQueueCap))
+	}
+	if sres.Shed == 0 {
+		res.Violations = append(res.Violations,
+			"overload run shed nothing: the arrival stream no longer oversubscribes the fabric")
+	}
+	if opts.Guardrails && sres.Guard.TailTrips == 0 {
+		res.Violations = append(res.Violations,
+			"tail breaker never tripped under sustained overload")
+	}
+	res.Digest = res.Digest ^ serverDigest(sres)
+}
+
+// serverDigest fingerprints a serving run the way digest fingerprints a
+// batch run: every sample and every counter, bit for bit.
+func serverDigest(r experiment.ServerResult) uint64 {
+	h := fnv.New64a()
+	w := func(s string) { _, _ = h.Write([]byte(s)) }
+	for _, sm := range r.Samples {
+		w(fmt.Sprintf("%d|%x|%x|%v|%v|%d|%d|%d|%d\n",
+			sm.Cycle, math.Float64bits(sm.Latency), math.Float64bits(sm.P99),
+			sm.Violated, sm.Starved, sm.Completed, sm.Shed, sm.TimedOut, sm.QueueDepth))
+	}
+	w(fmt.Sprintf("%+v|%+v|%d|%d|%d|%x|%x\n", r.Guard, r.FaultStats,
+		r.Served, r.Shed, r.TimedOut,
+		math.Float64bits(r.P999), math.Float64bits(r.SLOViolationMinutes)))
+	return h.Sum64()
 }
 
 // digest folds the run's observable outcome — every sample and every

@@ -86,6 +86,18 @@ type Config struct {
 	// BreakerCooldown is the consecutive met-QoS epochs, while pinned,
 	// required to close it again (default 4).
 	BreakerCooldown int
+
+	// TailWindow and TailK define the tail-latency breaker: TailK or
+	// more tail-violating epochs anywhere within the last TailWindow
+	// epochs open it (defaults 16 and 8). Unlike the consecutive-K mean
+	// breaker, the windowed count catches bursty tail violations — a
+	// p99 that blows the SLO every other epoch never produces K in a
+	// row, but it is still a burning tail.
+	TailWindow int
+	TailK      int
+	// TailCooldown is the consecutive met-tail epochs, while tail-
+	// pinned, required to close the tail breaker (default 4).
+	TailCooldown int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +137,15 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 4
 	}
+	if c.TailWindow == 0 {
+		c.TailWindow = 16
+	}
+	if c.TailK == 0 {
+		c.TailK = 8
+	}
+	if c.TailCooldown == 0 {
+		c.TailCooldown = 4
+	}
 	return c
 }
 
@@ -156,6 +177,14 @@ type Stats struct {
 	// at BreakerK, so with guardrails on this never exceeds it).
 	MaxViolationStreak int64
 
+	// Tail-latency breaker.
+	TailTrips        int64 // tail breaker opened, safe config pinned
+	TailRecoveries   int64 // tail breaker closed after cooldown
+	TailPinnedEpochs int64 // epochs spent pinned by the tail breaker
+	// MaxTailWindowCount is the largest number of tail-violating epochs
+	// ever present in the window while the tail breaker was closed.
+	MaxTailWindowCount int64
+
 	// Epochs is how many control epochs the guard has watched.
 	Epochs int64
 }
@@ -164,7 +193,8 @@ type Stats struct {
 // one-number summary the reliability table prints.
 func (s Stats) Trips() int64 {
 	return s.KalmanNaNResets + s.KalmanCovResets + s.KalmanDivResets +
-		s.ControllerResets + s.QTableScrubs + s.ThrashTrips + s.BreakerTrips
+		s.ControllerResets + s.QTableScrubs + s.ThrashTrips + s.BreakerTrips +
+		s.TailTrips
 }
 
 // Guard watches one runtime's control loop. It is created by the
@@ -196,13 +226,24 @@ type Guard struct {
 	violStreak int64
 	pinned     bool
 	metStreak  int
+
+	// Tail breaker state.
+	tailWindow    []bool // ring of "epoch violated the tail SLO"
+	tailPos       int
+	tailCount     int
+	tailPinned    bool
+	tailMetStreak int
 }
 
 // New builds a guard with the given thresholds (zero fields select
 // defaults).
 func New(cfg Config) *Guard {
 	c := cfg.withDefaults()
-	return &Guard{cfg: c, changes: make([]bool, c.ThrashWindow)}
+	return &Guard{
+		cfg:        c,
+		changes:    make([]bool, c.ThrashWindow),
+		tailWindow: make([]bool, c.TailWindow),
+	}
 }
 
 // Stats returns a snapshot of the trip counters.
@@ -211,9 +252,9 @@ func (g *Guard) Stats() Stats { return g.stats }
 // Config returns the effective (defaulted) thresholds.
 func (g *Guard) Config() Config { return g.cfg }
 
-// Pinned reports whether the QoS breaker currently pins the safe
-// configuration.
-func (g *Guard) Pinned() bool { return g.pinned }
+// Pinned reports whether either breaker (mean QoS or tail latency)
+// currently pins the safe configuration.
+func (g *Guard) Pinned() bool { return g.pinned || g.tailPinned }
 
 // BeginEpoch advances the epoch counter. Call once per Decide.
 func (g *Guard) BeginEpoch() { g.stats.Epochs++ }
@@ -332,6 +373,61 @@ func (g *Guard) BreakerTick(measured, target float64, haveSample bool) bool {
 		g.stats.PinnedEpochs++
 	}
 	return g.pinned
+}
+
+// TailTick feeds the tail-latency breaker one epoch's tail QoS signal
+// (latency budget over p99, so 1.0 = tail exactly on target, below 1 =
+// tail violating) and returns whether the runtime must pin the safe
+// configuration this epoch. The trip condition is windowed, not
+// consecutive: TailK or more violating epochs within the last
+// TailWindow epochs open the breaker, so bursty tails that never
+// violate K times in a row still trip it. Epochs without a tail signal
+// (batch runs, pure-idle quanta) leave the state unchanged.
+func (g *Guard) TailTick(measured, target float64, haveSample bool) bool {
+	if haveSample && target > 0 {
+		violated := !(measured >= target) // NaN counts as violating
+		if g.tailPinned {
+			if violated {
+				g.tailMetStreak = 0
+			} else {
+				g.tailMetStreak++
+				if g.tailMetStreak >= g.cfg.TailCooldown {
+					g.tailPinned = false
+					g.tailMetStreak = 0
+					// Clear the window on recovery: the violations that
+					// tripped the breaker belong to the pre-pin regime
+					// and must not instantly re-trip it.
+					for i := range g.tailWindow {
+						g.tailWindow[i] = false
+					}
+					g.tailCount = 0
+					g.stats.TailRecoveries++
+				}
+			}
+		} else {
+			// Slide the window.
+			if g.tailWindow[g.tailPos] {
+				g.tailCount--
+			}
+			g.tailWindow[g.tailPos] = violated
+			if violated {
+				g.tailCount++
+			}
+			g.tailPos = (g.tailPos + 1) % len(g.tailWindow)
+			if int64(g.tailCount) > g.stats.MaxTailWindowCount {
+				g.stats.MaxTailWindowCount = int64(g.tailCount)
+			}
+			if g.tailCount >= g.cfg.TailK {
+				g.tailPinned = true
+				g.tailMetStreak = 0
+				g.stats.TailTrips++
+			}
+		}
+	}
+	if g.tailPinned {
+		g.stats.TailPinnedEpochs++
+	}
+	return g.tailPinned
 }
 
 // LimitPlan runs thrash detection over the planned configuration stream

@@ -312,3 +312,87 @@ func TestStatsTripsAggregates(t *testing.T) {
 		t.Fatalf("Trips() = %d, want 28", got)
 	}
 }
+
+func TestTailBreakerWindowedTrip(t *testing.T) {
+	g := newGuard(t, Config{TailWindow: 8, TailK: 4, TailCooldown: 2})
+	// Alternating violate/meet epochs never produce 4 in a row — the
+	// consecutive-K mean breaker would stay closed forever — but 4
+	// violations land inside the 8-epoch window and must trip the tail
+	// breaker.
+	for i := 0; i < 3; i++ {
+		if g.TailTick(0.4, 1, true) {
+			t.Fatalf("tail breaker tripped early at violation %d", i+1)
+		}
+		if g.TailTick(1.2, 1, true) {
+			t.Fatalf("tail breaker pinned on a met epoch (%d)", i)
+		}
+	}
+	if !g.TailTick(0.4, 1, true) {
+		t.Fatal("tail breaker must trip on the 4th violation in the window")
+	}
+	if !g.Pinned() {
+		t.Fatal("Pinned() false while tail-pinned")
+	}
+	if got := g.Stats().TailTrips; got != 1 {
+		t.Fatalf("TailTrips = %d, want 1", got)
+	}
+}
+
+func TestTailBreakerRecoveryClearsWindow(t *testing.T) {
+	g := newGuard(t, Config{TailWindow: 4, TailK: 2, TailCooldown: 2})
+	g.TailTick(0.5, 1, true)
+	if !g.TailTick(0.5, 1, true) {
+		t.Fatal("tail breaker must trip at TailK window count")
+	}
+	// A violating epoch while pinned resets the recovery streak.
+	g.TailTick(0.5, 1, true)
+	g.TailTick(1.1, 1, true)
+	if g.TailTick(1.1, 1, true) {
+		t.Fatal("tail breaker must close after TailCooldown met epochs")
+	}
+	if g.Pinned() {
+		t.Fatal("still pinned after tail recovery")
+	}
+	// The window was cleared on recovery: one fresh violation must not
+	// re-trip against the pre-pin history.
+	if g.TailTick(0.5, 1, true) {
+		t.Fatal("stale window entries re-tripped the tail breaker")
+	}
+	s := g.Stats()
+	if s.TailTrips != 1 || s.TailRecoveries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TailPinnedEpochs != 3 {
+		t.Fatalf("TailPinnedEpochs = %d, want 3", s.TailPinnedEpochs)
+	}
+}
+
+func TestTailBreakerNoSignalIsNeutral(t *testing.T) {
+	g := newGuard(t, Config{TailWindow: 4, TailK: 2, TailCooldown: 1})
+	g.TailTick(0.5, 1, true)
+	// Batch epochs (no tail signal) must not advance the window.
+	for i := 0; i < 10; i++ {
+		if g.TailTick(0, 1, false) {
+			t.Fatal("no-signal epoch pinned the tail breaker")
+		}
+	}
+	if !g.TailTick(0.5, 1, true) {
+		t.Fatal("window slid during no-signal epochs: violation count lost")
+	}
+}
+
+func TestTailBreakerIndependentOfMeanBreaker(t *testing.T) {
+	g := newGuard(t, Config{BreakerK: 2, BreakerCooldown: 1, TailWindow: 4, TailK: 2, TailCooldown: 1})
+	// Trip only the tail breaker; the mean breaker sees healthy QoS.
+	g.BreakerTick(0.9, 0.5, true)
+	g.TailTick(0.5, 1, true)
+	g.BreakerTick(0.9, 0.5, true)
+	g.TailTick(0.5, 1, true)
+	s := g.Stats()
+	if s.BreakerTrips != 0 || s.TailTrips != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !g.Pinned() {
+		t.Fatal("Pinned() must reflect the tail breaker alone")
+	}
+}

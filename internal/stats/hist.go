@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram is an HDR-style latency histogram: log-spaced buckets with
+// a fixed relative resolution, O(1) Record, mergeable, and an exact
+// small-N mode so short runs report precise quantiles. It exists for
+// the open-loop serving path, where per-request latencies arrive tens
+// of millions at a time and the metrics that matter are tail quantiles
+// (p99, p999) rather than means — storing raw samples would be
+// O(requests) memory, exactly what the serving engine must avoid.
+//
+// Values are non-negative int64s (cycles). Each power-of-two octave is
+// split into histSubBuckets linear sub-buckets, so any recorded value
+// is reproduced within a relative error of 1/histSubBuckets (~3%).
+// The zero value is ready to use. Histogram is plain data with no
+// pointers into shared state, so copying a merged snapshot is safe.
+type Histogram struct {
+	// exact holds raw samples until their count exceeds histExactMax;
+	// after spill the histogram is bucket-backed for the rest of its
+	// life. Small runs (calibration probes, single quanta) therefore
+	// get exact quantiles.
+	exact []int64
+	// buckets[i] counts values in log-spaced bucket i; allocated on
+	// spill. count is the total across exact/buckets.
+	buckets []int64
+	count   int64
+	sum     int64
+	max     int64
+	min     int64 // valid when count > 0
+}
+
+const (
+	// histSubBuckets is the per-octave linear resolution: quantiles are
+	// exact to within 1/32 ≈ 3.2% once the exact mode has spilled.
+	histSubBuckets = 32
+	histSubShift   = 5 // log2(histSubBuckets)
+	// histExactMax is the exact-mode capacity. 256 samples cost 2KB and
+	// cover every "short run" case (a control quantum completes far
+	// fewer requests than this only in degenerate overload).
+	histExactMax = 256
+	// histBuckets spans the full non-negative int64 range: 1 bucket for
+	// zero, histSubBuckets linear buckets below 2*histSubBuckets, then
+	// histSubBuckets per octave up to 2^63.
+	histBuckets = (64 - histSubShift) * histSubBuckets
+)
+
+// bucketIndex maps a value to its log-spaced bucket.
+func bucketIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v) // exact low range, one value per bucket
+	}
+	// The octave is floor(log2(v)); within it, the histSubShift bits
+	// after the leading one select the linear sub-bucket. bits.Len64
+	// keeps Record branch-light on the serving hot path.
+	lg := bits.Len64(uint64(v)) - 1
+	shift := uint(lg - histSubShift)
+	sub := int(v>>shift) - histSubBuckets // in [0, histSubBuckets)
+	return (lg-histSubShift)*histSubBuckets + histSubBuckets + sub
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket.
+func bucketMid(i int) float64 {
+	if i < histSubBuckets {
+		return float64(i)
+	}
+	oct := (i - histSubBuckets) / histSubBuckets
+	sub := (i - histSubBuckets) % histSubBuckets
+	lo := (int64(histSubBuckets) + int64(sub)) << uint(oct)
+	width := int64(1) << uint(oct)
+	return float64(lo) + float64(width-1)/2
+}
+
+// Record adds one sample. Negative values clamp to zero (latencies are
+// non-negative by construction; a negative input is a caller bug that
+// must not corrupt the bucket index).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.buckets == nil {
+		if len(h.exact) < histExactMax {
+			h.exact = append(h.exact, v)
+			return
+		}
+		h.spill()
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+// spill converts exact mode to bucket mode.
+func (h *Histogram) spill() {
+	h.buckets = make([]int64, histBuckets)
+	for _, v := range h.exact {
+		h.buckets[bucketIndex(v)]++
+	}
+	h.exact = nil
+}
+
+// Count returns how many samples were recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the total of all recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Reset empties the histogram, retaining the bucket array for reuse.
+func (h *Histogram) Reset() {
+	h.exact = h.exact[:0]
+	if h.buckets != nil {
+		for i := range h.buckets {
+			h.buckets[i] = 0
+		}
+	}
+	h.count, h.sum, h.max, h.min = 0, 0, 0, 0
+}
+
+// Merge folds o's samples into h. Merging bucket-backed histograms is
+// O(buckets); exact-mode operands replay their raw samples, preserving
+// exactness when both sides are small.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if o.exact != nil {
+		for _, v := range o.exact {
+			h.Record(v)
+		}
+		return
+	}
+	if h.buckets == nil {
+		h.spill()
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	if o.min < h.min || h.count == 0 {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded values:
+// exact while in exact mode, otherwise the midpoint of the bucket
+// holding the q-th sample (within 1/histSubBuckets relative error).
+// Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the order statistic reported: the
+	// nearest-rank definition, so p100 is the max and p0 the min.
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if h.buckets == nil {
+		// Exact mode: selection by insertion into a copy is overkill;
+		// sort a scratch copy (N ≤ histExactMax).
+		tmp := make([]int64, len(h.exact))
+		copy(tmp, h.exact)
+		sortInt64(tmp)
+		return float64(tmp[rank-1])
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			return bucketMid(i)
+		}
+	}
+	return float64(h.max)
+}
+
+// sortInt64 is an insertion sort: the exact-mode slice is ≤
+// histExactMax entries and nearly free of allocator noise.
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQuantile is the nearest-rank quantile of a sorted slice — the
+// definition Histogram.Quantile implements.
+func refQuantile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted)) * q)
+	if float64(rank) < float64(len(sorted))*q {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1])
+}
+
+// TestHistogramQuantileProperty records random samples from several
+// distributions and checks every reported quantile against the exact
+// sorted-slice quantile, within the bucket resolution (one part in
+// histSubBuckets) once the exact mode has spilled, and exactly before.
+func TestHistogramQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(20_000)
+		var h Histogram
+		vals := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			var v int64
+			switch trial % 4 {
+			case 0: // uniform small
+				v = int64(rng.Intn(1000))
+			case 1: // exponential-ish tail (the latency shape that matters)
+				v = int64(rng.ExpFloat64() * 110_000)
+			case 2: // heavy constant body + rare huge outliers
+				v = 5000
+				if rng.Intn(100) == 0 {
+					v = int64(1 + rng.Intn(1<<40))
+				}
+			default: // full-range
+				v = rng.Int63()
+			}
+			h.Record(v)
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range quantiles {
+			got := h.Quantile(q)
+			want := refQuantile(vals, q)
+			tol := 0.0
+			if n > histExactMax {
+				// Bucket mode: relative resolution 1/histSubBuckets
+				// (plus half a bucket of midpoint rounding).
+				tol = want/histSubBuckets + 1
+			}
+			if diff := got - want; diff > tol || diff < -tol {
+				t.Fatalf("trial %d n=%d q=%v: got %v, want %v (tol %v)", trial, n, q, got, want, tol)
+			}
+		}
+		if h.Count() != int64(n) {
+			t.Fatalf("count %d, want %d", h.Count(), n)
+		}
+		if h.Min() != vals[0] || h.Max() != vals[len(vals)-1] {
+			t.Fatalf("min/max %d/%d, want %d/%d", h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+		}
+	}
+}
+
+// TestHistogramMerge checks that merging partial histograms is
+// equivalent to recording everything into one, across all mode
+// combinations (exact+exact, exact+bucket, bucket+bucket).
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sizes := range [][2]int{{10, 20}, {10, 5000}, {5000, 10}, {3000, 4000}} {
+		var a, b, all Histogram
+		for i := 0; i < sizes[0]; i++ {
+			v := int64(rng.Intn(1 << 30))
+			a.Record(v)
+			all.Record(v)
+		}
+		for i := 0; i < sizes[1]; i++ {
+			v := int64(rng.Intn(1 << 30))
+			b.Record(v)
+			all.Record(v)
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+			t.Fatalf("sizes %v: merged count/sum/min/max diverge", sizes)
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			got, want := a.Quantile(q), all.Quantile(q)
+			tol := want/histSubBuckets + 1
+			if diff := got - want; diff > tol || diff < -tol {
+				t.Fatalf("sizes %v q=%v: merged %v, combined %v", sizes, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramResetReuse: a reset histogram must behave as a fresh one
+// while retaining its bucket storage.
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < histExactMax*2; i++ {
+		h.Record(i * 1000)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("reset histogram not empty")
+	}
+	h.Record(42)
+	if h.Count() != 1 || h.Quantile(0.5) != 42 {
+		t.Fatalf("post-reset record broken: count=%d p50=%v", h.Count(), h.Quantile(0.5))
+	}
+}
+
+// TestHistogramNegativeClamp: negative inputs clamp to zero instead of
+// corrupting the bucket index.
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	h.Record(10)
+	if h.Min() != 0 || h.Quantile(0) != 0 {
+		t.Fatalf("negative sample not clamped: min=%d", h.Min())
+	}
+}
+
+// TestBucketIndexMonotone: the bucket index must be monotone in the
+// value and the midpoint must stay within the bucket's relative width.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 10, 1<<20 + 7, 1 << 40, 1<<62 + 12345} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d)=%d below previous %d", v, i, prev)
+		}
+		prev = i
+		mid := bucketMid(i)
+		tol := float64(v)/histSubBuckets + 1
+		if diff := mid - float64(v); diff > tol || diff < -tol {
+			t.Fatalf("bucketMid(%d)=%v far from value %d", i, mid, v)
+		}
+	}
+}

@@ -6,6 +6,66 @@ import (
 	"cash/internal/isa"
 )
 
+// FuzzArrivalStream throws arbitrary shape parameters at the composed
+// arrival generator. Whatever Validate accepts must produce monotone
+// non-decreasing arrivals with no panics, and Reset must replay the
+// identical sequence — the serving engine's byte-identity contract
+// rests on it.
+func FuzzArrivalStream(f *testing.F) {
+	f.Add(6.0, int64(20000), 0.15, uint64(7), 40.0, 9.0, 1.0, 3.0, 4.0, 120.0, 0.75, 0.3, 4, 12.0, 3.0, 8.0, 0.35)
+	f.Add(0.001, int64(1), 0.0, uint64(0), 1.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 1, 0.1, 0.0, 0.0, 0.0)
+	f.Add(1e6, int64(5), 0.99, uint64(42), 0.5, 100.0, 0.05, 0.1, 0.05, 1e6, 0.99, 1.0, 64, 1e5, 100.0, 50.0, 1.0)
+	f.Fuzz(func(t *testing.T, baseRate float64, work int64, jitter float64, seed uint64,
+		fcEvery, fcMag, fcRamp, fcHold, fcDecay float64,
+		diPeriod, diSwing, diH2 float64,
+		tenants int, tbEvery, tbBurst, tbMag, tbCorr float64) {
+
+		s := &ShapedStream{
+			BaseRate:         baseRate,
+			InstrsPerRequest: work,
+			Jitter:           jitter,
+			Seed:             seed,
+			Shapes: []RateShape{
+				FlashCrowd{EveryMCycles: fcEvery, Magnitude: fcMag,
+					RampMCycles: fcRamp, HoldMCycles: fcHold, DecayMCycles: fcDecay, Seed: seed ^ 0xf1a5},
+				Diurnal{PeriodMCycles: diPeriod, Swing: diSwing, Harmonic2: diH2},
+				TenantBursts{Tenants: tenants, EveryMCycles: tbEvery, BurstMCycles: tbBurst,
+					Magnitude: tbMag, Correlation: tbCorr, Seed: seed ^ 0xb0b5},
+			},
+		}
+		if s.Validate() != nil {
+			return // rejected inputs must not reach the generator
+		}
+		const n = 512
+		s.Reset()
+		first := make([]int64, n)
+		prev := int64(-1)
+		for i := range first {
+			a := s.NextArrival()
+			if a < prev {
+				t.Fatalf("arrival %d (%d) precedes arrival %d (%d)", i, a, i-1, prev)
+			}
+			if a < 0 {
+				t.Fatalf("negative arrival cycle %d", a)
+			}
+			prev = a
+			first[i] = a
+		}
+		if s.Issued() != n {
+			t.Fatalf("issued %d, want %d", s.Issued(), n)
+		}
+		s.Reset()
+		if s.Issued() != 0 {
+			t.Fatal("Reset did not clear the issue count")
+		}
+		for i := range first {
+			if a := s.NextArrival(); a != first[i] {
+				t.Fatalf("replay diverged at arrival %d: %d vs %d", i, a, first[i])
+			}
+		}
+	})
+}
+
 // FuzzGenTrace throws arbitrary phase parameters at the trace generator.
 // Whatever Validate accepts, Gen must honour: no panics, well-formed
 // instructions (ops and registers inside the architectural namespace),
