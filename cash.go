@@ -38,6 +38,7 @@ import (
 	"cash/internal/experiment"
 	"cash/internal/fault"
 	"cash/internal/figs"
+	"cash/internal/fleet"
 	"cash/internal/guard"
 	"cash/internal/guard/chaos"
 	"cash/internal/oracle"
@@ -144,6 +145,49 @@ type (
 	ChaosSeedResult = chaos.SeedResult
 )
 
+// Fleet control-plane types (robustness study). A fleet is N simulated
+// chips hosting M tenants under hierarchical budget envelopes,
+// time-bounded leases, heartbeat failure detection and exactly-once
+// re-execution of displaced work.
+type (
+	// FleetOptions configure one fleet run.
+	FleetOptions = fleet.Options
+	// FleetResult is a completed fleet run: cost, availability,
+	// re-execution counts, time-to-recovery tail and the control plane's
+	// own guarantees (exactly-once, reconciled budgets, replay digest).
+	FleetResult = fleet.Result
+	// FleetStats counts control-plane activity over a run.
+	FleetStats = fleet.Stats
+	// FleetWork is the work a fleet hosts: M tenants × cells.
+	FleetWork = fleet.Work
+	// FleetSoakOptions configure the fleet chaos soak.
+	FleetSoakOptions = fleet.SoakOptions
+	// FleetSoakReport is a completed fleet soak.
+	FleetSoakReport = fleet.SoakReport
+	// ChipFaultSchedule is a deterministic list of chip-level fault
+	// events (crashes, hangs, heartbeat loss).
+	ChipFaultSchedule = fault.ChipSchedule
+	// ChipFaultEvent is one scheduled chip fault.
+	ChipFaultEvent = fault.ChipEvent
+)
+
+// RunFleet executes one fleet run: admission against budget envelopes,
+// leased placement, failure detection and exactly-once re-execution.
+func RunFleet(opts FleetOptions) (FleetResult, error) { return fleet.Run(opts) }
+
+// RunFleetSoak executes the fleet chaos soak: chip crashes, hangs and
+// heartbeat partitions across many seeds, asserting completion,
+// exactly-once delivery, budget reconciliation and byte-identical
+// replay on every run.
+func RunFleetSoak(opts FleetSoakOptions) (FleetSoakReport, error) { return fleet.Soak(opts) }
+
+// FleetSoakScenarios lists the fleet soak's built-in scenario names.
+func FleetSoakScenarios() []string { return fleet.SoakScenarios() }
+
+// KillK returns a chip fault schedule that crashes k of n chips at the
+// given tick, spread evenly across the fleet.
+func KillK(chips, k int, tick int64) ChipFaultSchedule { return fault.KillK(chips, k, tick) }
+
 // RunChaos executes the chaos soak: adversarial workloads (phase
 // storms, load spikes, all-miss memory phases), injected tile faults
 // and deliberate runtime-state corruption across many seeds, asserting
@@ -224,6 +268,14 @@ type ReproduceOptions struct {
 	Shed       string
 	TailTarget int64
 
+	// FleetChips, FleetTenants and FleetKill parameterise the "fleet"
+	// artifact's control-plane study: fleet size, tenant count and how
+	// many chips the crash-K scenario kills mid-run. Zero values select
+	// the study defaults (6 chips, 6 tenants, kill 2).
+	FleetChips   int
+	FleetTenants int
+	FleetKill    int
+
 	// Supervision: every (app, policy) cell of every artifact runs under
 	// a supervised executor — a panicking, erroring or hanging cell
 	// renders as FAILED(reason) while the rest of the report completes.
@@ -263,8 +315,8 @@ func DefaultJournalPath() string { return supervise.DefaultJournalPath() }
 
 // Reproduce regenerates a named artifact of the paper's evaluation
 // ("fig1", "fig2", "table1", "table2", "overhead", "fig7", "table3",
-// "fig8", "fig9", "fig10", "ablations", "reliability", "tail", or
-// "all"), writing the report to w. scale shrinks the workloads (1.0 =
+// "fig8", "fig9", "fig10", "ablations", "reliability", "tail", "fleet",
+// or "all"), writing the report to w. scale shrinks the workloads (1.0 =
 // the full evaluation).
 func Reproduce(w io.Writer, artifact string, scale float64) error {
 	return ReproduceWith(w, artifact, ReproduceOptions{Scale: scale})
@@ -288,6 +340,9 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 	h.QueueCap = o.QueueCap
 	h.ShedName = o.Shed
 	h.TailTarget = o.TailTarget
+	h.FleetChips = o.FleetChips
+	h.FleetTenants = o.FleetTenants
+	h.FleetKill = o.FleetKill
 	h.Jobs = o.Jobs
 	h.SweepPar = o.SweepPar
 	h.CellTimeout = o.CellTimeout
@@ -307,35 +362,34 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 		h.Table3(res)
 		return nil
 	}
+	var err error
 	switch artifact {
 	case "fig1":
-		return h.Fig1()
+		err = h.Fig1()
 	case "fig2":
-		return h.Fig2()
+		err = h.Fig2()
 	case "table1":
 		h.Table1()
-		return nil
 	case "table2":
 		h.Table2()
-		return nil
 	case "overhead":
-		return h.Overhead()
+		err = h.Overhead()
 	case "fig7", "table3":
-		return runFig7()
+		err = runFig7()
 	case "fig8":
-		return h.Fig8()
+		err = h.Fig8()
 	case "fig9":
-		return h.Fig9()
+		err = h.Fig9()
 	case "fig10":
-		_, err := h.Fig10()
-		return err
+		_, err = h.Fig10()
 	case "ablations":
-		return h.Ablations()
+		err = h.Ablations()
 	case "reliability":
-		_, err := h.Reliability()
-		return err
+		_, err = h.Reliability()
 	case "tail":
-		return h.TailStudy()
+		err = h.TailStudy()
+	case "fleet":
+		err = h.FleetStudy()
 	case "all":
 		h.Table1()
 		h.Table2()
@@ -345,14 +399,20 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 			h.Ablations,
 			func() error { _, err := h.Reliability(); return err },
 			h.TailStudy,
+			h.FleetStudy,
 		} {
 			if err := f(); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
 		}
-		return nil
 	default:
 		return fmt.Errorf("cash: unknown artifact %q", artifact)
 	}
+	if err == nil {
+		// The run completed: shrink the journal to one winning record per
+		// cell so resumable runs don't accrete attempt history forever.
+		h.CompactJournal()
+	}
+	return err
 }

@@ -7,10 +7,21 @@
 //	        [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n]
 //	        [-journal file] [-resume] [-v]
 //	        [-stream s] [-queue-cap n] [-shed p] [-tail-target n]
+//	        [-chips n] [-tenants n] [-kill n]
 //	        [-cpuprofile file] [-memprofile file] <artifact>
 //
 // where artifact is one of: fig1 fig2 table1 table2 overhead fig7
-// table3 fig8 fig9 fig10 ablations reliability tail all.
+// table3 fig8 fig9 fig10 ablations reliability tail fleet all.
+//
+// The fleet artifact is the fleet-scale control-plane study: N
+// simulated chips host M tenants of real CASH experiments under
+// hierarchical budget envelopes, time-bounded leases, heartbeat failure
+// detection and exactly-once re-execution. It reports cost,
+// availability, re-execution counts and the time-to-recovery tail for a
+// healthy baseline plus crash-K, partition and hang-storm failure
+// patterns, and checks the control plane's guarantees (exactly-once
+// landing, budget reconciliation, byte-identical replay) inline. -chips,
+// -tenants and -kill size the fleet and the crash scenario.
 //
 // The tail artifact is the open-loop serving study beyond Fig 9's
 // means: bounded-queue load shedding under bursty arrival streams, with
@@ -83,19 +94,24 @@ func main() {
 	resume := flag.Bool("resume", false, "replay journal-completed cells from an interrupted run")
 	verbose := flag.Bool("v", false, "print supervision diagnostics (retries, journal reuse) to stderr")
 	stream := flag.String("stream", "", `tail study: arrival shape (sine diurnal flash bursts; "" = default)`)
-	queueCap := flag.Int("queue-cap", 0, "tail study: bounded queue capacity (0 = default, negative = unbounded)")
-	shed := flag.String("shed", "", `tail study: shed policy (drop-newest deadline; "" compares both)`)
+	queueCap := flag.Int("queue-cap", 0, "tail study: bounded queue capacity (0 = default; must not be negative)")
+	shed := flag.String("shed", "", `tail study: shed policy (drop-newest deadline; "" compares both; requires -stream)`)
 	tailTarget := flag.Int64("tail-target", 0, "tail study: SLO tail budget in cycles (0 = the latency target)")
-	chaosMode := flag.Bool("chaos", false, "run the guardrail chaos soak instead of an artifact")
-	chaosSeeds := flag.Int("chaos-seeds", 20, "chaos soak: seeds per scenario")
+	chips := flag.Int("chips", 0, "fleet study: simulated chips (0 = default, 6)")
+	tenants := flag.Int("tenants", 0, "fleet study: admitted tenants (0 = default, 6)")
+	kill := flag.Int("kill", 0, "fleet study: chips the crash-K scenario kills (0 = default, 2)")
+	chaosMode := flag.Bool("chaos", false, "run the chaos soaks (guardrail + fleet) instead of an artifact")
+	chaosSeeds := flag.Int("chaos-seeds", 20, "chaos soak: seeds per scenario (must be positive)")
 	chaosQuanta := flag.Int("chaos-quanta", 0, "chaos soak: control quanta per run (0 = default)")
 	chaosGuard := flag.Bool("chaos-guard", true, "chaos soak: arm the guardrails (false = hazard baseline)")
+	fleetSeeds := flag.Int("fleet-seeds", 5, "fleet chaos soak: seeds per scenario (0 skips the fleet soak)")
+	fleetJournalDir := flag.String("fleet-journal-dir", "", "fleet chaos soak: journal every run under this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to a file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
 		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-out file]\n\n")
-		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability tail all\n")
+		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability tail fleet all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -106,6 +122,14 @@ func main() {
 		}
 	} else if flag.NArg() != 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateFlags(flagValues{
+		queueCap: *queueCap, stream: *stream, shed: *shed,
+		chaos: *chaosMode, chaosSeeds: *chaosSeeds, fleetSeeds: *fleetSeeds,
+		chips: *chips, tenants: *tenants, kill: *kill,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "cashsim: %v\nrun 'cashsim -h' for usage\n", err)
 		os.Exit(2)
 	}
 
@@ -146,9 +170,25 @@ func main() {
 			}
 			fmt.Fprintf(w, "  FAIL %s seed %d: %v\n", r.Scenario, r.Seed, r.Violations)
 		}
+		passed := !*chaosGuard || rep.Passed()
+		if *fleetSeeds > 0 {
+			frep, err := cash.RunFleetSoak(cash.FleetSoakOptions{
+				Seeds: *fleetSeeds, JournalDir: *fleetJournalDir,
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprint(w, frep.Summary())
+			for _, r := range frep.Runs {
+				for _, v := range r.Violations {
+					fmt.Fprintf(w, "  FAIL %s seed %d: %s\n", r.Scenario, r.Seed, v)
+				}
+			}
+			passed = passed && frep.Passed()
+		}
 		fmt.Fprintf(os.Stderr, "cashsim: chaos soak done in %v\n", time.Since(start).Round(time.Millisecond))
 		stopProf()
-		if *chaosGuard && !rep.Passed() {
+		if !passed {
 			os.Exit(1)
 		}
 		return
@@ -164,12 +204,52 @@ func main() {
 		Jobs: *jobs, SweepPar: *sweepPar, CellTimeout: *cellTimeout, MaxRetries: *maxRetries,
 		JournalPath: *journal, Resume: *resume, Log: log,
 		Stream: *stream, QueueCap: *queueCap, Shed: *shed, TailTarget: *tailTarget,
+		FleetChips: *chips, FleetTenants: *tenants, FleetKill: *kill,
 	}
 	if err := cash.ReproduceWith(w, flag.Arg(0), opts); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "cashsim: %s done in %v\n", flag.Arg(0), time.Since(start).Round(time.Millisecond))
 	stopProf()
+}
+
+// flagValues collects the parsed flags that validateFlags cross-checks,
+// so the rules are testable without running main.
+type flagValues struct {
+	queueCap   int
+	stream     string
+	shed       string
+	chaos      bool
+	chaosSeeds int
+	fleetSeeds int
+	chips      int
+	tenants    int
+	kill       int
+}
+
+// validateFlags rejects flag combinations that would otherwise fail
+// deep inside a study (or silently do nothing), so mistakes surface
+// before any simulation work starts.
+func validateFlags(v flagValues) error {
+	if v.queueCap < 0 {
+		return fmt.Errorf("-queue-cap %d is negative; the serving queue needs a non-negative capacity (0 = the study default)", v.queueCap)
+	}
+	if v.shed != "" && v.stream == "" {
+		return fmt.Errorf("-shed %q requires -stream: a shed policy is meaningless without an arrival shape", v.shed)
+	}
+	if v.chaos && v.chaosSeeds <= 0 {
+		return fmt.Errorf("-chaos needs -chaos-seeds >= 1, got %d", v.chaosSeeds)
+	}
+	if v.fleetSeeds < 0 {
+		return fmt.Errorf("-fleet-seeds %d is negative (0 skips the fleet soak)", v.fleetSeeds)
+	}
+	if v.chips < 0 || v.tenants < 0 || v.kill < 0 {
+		return fmt.Errorf("-chips/-tenants/-kill must be non-negative, got %d/%d/%d", v.chips, v.tenants, v.kill)
+	}
+	if v.chips > 0 && v.kill >= v.chips {
+		return fmt.Errorf("-kill %d must be smaller than -chips %d: killing the whole fleet leaves no survivors to re-place work on", v.kill, v.chips)
+	}
+	return nil
 }
 
 // startProfiles enables the requested pprof outputs. The returned stop

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlagsAccepts(t *testing.T) {
+	cases := []flagValues{
+		{}, // all defaults
+		{queueCap: 128, stream: "bursts", shed: "deadline"},
+		{chaos: true, chaosSeeds: 20, fleetSeeds: 5},
+		{chaos: true, chaosSeeds: 1, fleetSeeds: 0}, // fleet soak skipped
+		{chips: 8, tenants: 12, kill: 3},
+		{stream: "flash"}, // stream without shed compares both policies
+	}
+	for _, v := range cases {
+		if err := validateFlags(v); err != nil {
+			t.Errorf("validateFlags(%+v) = %v, want nil", v, err)
+		}
+	}
+}
+
+func TestValidateFlagsRejects(t *testing.T) {
+	cases := []struct {
+		v    flagValues
+		want string
+	}{
+		{flagValues{queueCap: -1}, "-queue-cap"},
+		{flagValues{shed: "deadline"}, "-shed"},
+		{flagValues{chaos: true, chaosSeeds: 0}, "-chaos-seeds"},
+		{flagValues{chaos: true, chaosSeeds: -5}, "-chaos-seeds"},
+		{flagValues{fleetSeeds: -1}, "-fleet-seeds"},
+		{flagValues{chips: -2}, "non-negative"},
+		{flagValues{kill: -1}, "non-negative"},
+		{flagValues{chips: 4, kill: 4}, "-kill"},
+		{flagValues{chips: 4, kill: 9}, "-kill"},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.v)
+		if err == nil {
+			t.Errorf("validateFlags(%+v) accepted, want error mentioning %q", c.v, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("validateFlags(%+v) = %q, want mention of %q", c.v, err, c.want)
+		}
+	}
+}
+
+func TestValidateFlagsChaosSeedsIgnoredOutsideChaos(t *testing.T) {
+	// -chaos-seeds only gates chaos mode; a plain artifact run never
+	// reads it, so a bad value there must not block the run.
+	if err := validateFlags(flagValues{chaosSeeds: 0}); err != nil {
+		t.Fatalf("chaos-seeds validated outside -chaos: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package experiment
+
+import "fmt"
+
+// Brief is a compact, journal-friendly summary of a Result. The fleet
+// control plane stores one Brief per landed cell: re-executions of the
+// same cell are deterministic, so any two attempts at a cell produce
+// the same Brief and the exactly-once journal can treat the payload as
+// a value rather than an event log.
+type Brief struct {
+	App        string  `json:"app"`
+	Allocator  string  `json:"alloc"`
+	Quanta     int     `json:"quanta"`
+	Cost       float64 `json:"cost"`
+	Cycles     int64   `json:"cycles"`
+	Instrs     int64   `json:"instrs"`
+	Violations int     `json:"violations"`
+	Reconfigs  int64   `json:"reconfigs"`
+}
+
+// Brief summarises the run.
+func (r Result) Brief() Brief {
+	return Brief{
+		App:        r.App,
+		Allocator:  r.Allocator,
+		Quanta:     len(r.Samples),
+		Cost:       r.TotalCost,
+		Cycles:     r.TotalCycles,
+		Instrs:     r.TotalInstrs,
+		Violations: r.Violations,
+		Reconfigs:  r.ReconfigCount,
+	}
+}
+
+// String renders the brief in a fixed format, suitable for digesting.
+func (b Brief) String() string {
+	return fmt.Sprintf("%s/%s q=%d cost=%.9f cyc=%d ins=%d viol=%d rcfg=%d",
+		b.App, b.Allocator, b.Quanta, b.Cost, b.Cycles, b.Instrs, b.Violations, b.Reconfigs)
+}

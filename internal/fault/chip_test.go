@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateChipFaultsDeterministic(t *testing.T) {
+	spec := ChipSpec{Chips: 8, Horizon: 500, Rate: 5, Seed: 11}
+	a, err := GenerateChipFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChipFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec produced different schedules:\n%v\n%v", a, b)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("expected a non-empty schedule at rate 5")
+	}
+	if err := a.Validate(8); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	kinds := map[ChipFaultKind]int{}
+	for _, e := range a.Events {
+		kinds[e.Kind]++
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("expected a mix of fault kinds, got %v", kinds)
+	}
+}
+
+func TestChipScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   ChipEvent
+	}{
+		{"negative tick", ChipEvent{Tick: -1, Chip: 0, Kind: ChipCrash}},
+		{"chip out of range", ChipEvent{Tick: 0, Chip: 4, Kind: ChipCrash}},
+		{"negative duration", ChipEvent{Tick: 0, Chip: 0, Kind: ChipHang, Duration: -3}},
+		{"zero-length hang", ChipEvent{Tick: 0, Chip: 0, Kind: ChipHang}},
+		{"zero-length hbloss", ChipEvent{Tick: 0, Chip: 0, Kind: ChipHBLoss}},
+		{"unknown kind", ChipEvent{Tick: 0, Chip: 0, Kind: 99, Duration: 1}},
+	}
+	for _, c := range cases {
+		s := ChipSchedule{Events: []ChipEvent{c.ev}}
+		if err := s.Validate(4); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.ev)
+		}
+	}
+	ok := ChipSchedule{Events: []ChipEvent{
+		{Tick: 3, Chip: 1, Kind: ChipCrash},
+		{Tick: 5, Chip: 2, Kind: ChipHang, Duration: 10},
+	}}
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestKillKLeavesSurvivors(t *testing.T) {
+	s := KillK(6, 2, 30)
+	if len(s.Events) != 2 {
+		t.Fatalf("KillK(6,2) scheduled %d crashes", len(s.Events))
+	}
+	victims := map[int]bool{}
+	for _, e := range s.Events {
+		if e.Kind != ChipCrash || e.Tick != 30 {
+			t.Fatalf("unexpected event %+v", e)
+		}
+		if victims[e.Chip] {
+			t.Fatalf("chip %d killed twice", e.Chip)
+		}
+		victims[e.Chip] = true
+	}
+	// Killing the whole fleet must clamp to chips-1.
+	if s := KillK(4, 9, 1); len(s.Events) != 3 {
+		t.Fatalf("KillK(4,9) scheduled %d crashes, want 3", len(s.Events))
+	}
+}
+
+func TestChipInjectorOrderAndDelivery(t *testing.T) {
+	s := ChipSchedule{Events: []ChipEvent{
+		{Tick: 20, Chip: 3, Kind: ChipHang, Duration: 5},
+		{Tick: 10, Chip: 1, Kind: ChipCrash},
+		{Tick: 10, Chip: 0, Kind: ChipHBLoss, Duration: 4},
+	}}
+	inj, err := NewChipInjector(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	due := inj.Advance(10)
+	if len(due) != 2 || due[0].Chip != 0 || due[1].Chip != 1 {
+		t.Fatalf("Advance(10) = %v, want chips 0 then 1", due)
+	}
+	if !inj.Pending() {
+		t.Fatal("injector should still hold the tick-20 event")
+	}
+	if due := inj.Advance(19); due != nil {
+		t.Fatalf("Advance(19) delivered early: %v", due)
+	}
+	due = inj.Advance(25)
+	if len(due) != 1 || due[0].Chip != 3 {
+		t.Fatalf("Advance(25) = %v", due)
+	}
+	if inj.Pending() {
+		t.Fatal("injector should be drained")
+	}
+}

@@ -18,8 +18,8 @@ import (
 // meta fingerprints the run parameters that determine cell values; a
 // journal written under a different fingerprint must not be resumed.
 func (h *Harness) meta() string {
-	return fmt.Sprintf("cash-journal v1 scale=%g seed=%d faultRate=%g faultSeed=%d",
-		h.Scale, h.Seed, h.FaultRate, h.FaultSeed)
+	return fmt.Sprintf("cash-journal v2 scale=%g seed=%d faultRate=%g faultSeed=%d chips=%d tenants=%d kill=%d",
+		h.Scale, h.Seed, h.FaultRate, h.FaultSeed, h.FleetChips, h.FleetTenants, h.FleetKill)
 }
 
 // openJournal lazily opens the configured result journal.
@@ -41,6 +41,20 @@ func (h *Harness) openJournal() {
 		}
 		h.journal = j
 	})
+}
+
+// CompactJournal rewrites the result journal down to one winning record
+// per completed cell, re-stamping every CRC. Call it after a run
+// finishes cleanly: retry attempts and superseded records are dead
+// weight once the run is over, and without compaction a journal that
+// shepherds J resumes grows superlinearly in J.
+func (h *Harness) CompactJournal() {
+	if h.journal == nil {
+		return
+	}
+	if err := h.journal.Compact(); err != nil {
+		h.logf("# warning: journal compaction: %v\n", err)
+	}
 }
 
 // runCells executes units under the harness's supervision knobs and

@@ -59,6 +59,18 @@ type Harness struct {
 	// target).
 	TailTarget int64
 
+	// Fleet-study knobs (the "fleet" artifact); zero values select the
+	// study's defaults. cmd/cashsim maps -chips/-tenants/-kill/
+	// -fleet-seed onto these.
+
+	// FleetChips is how many simulated chips the fleet hosts (0 = 6).
+	FleetChips int
+	// FleetTenants is how many tenants the fleet admits (0 = 6).
+	FleetTenants int
+	// FleetKill is how many chips the crash-K scenario kills mid-run
+	// (0 = 2; clamped to FleetChips-1).
+	FleetKill int
+
 	// Supervision knobs: every figure/table enumerates its (app,
 	// policy) cells through a supervised executor, so one panicking or
 	// hanging cell degrades to a FAILED(...) entry instead of losing

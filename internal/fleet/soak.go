@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"cash/internal/fault"
+	"cash/internal/par"
+	"cash/internal/supervise"
+)
+
+// The fleet chaos soak kills K of N chips mid-run (plus hang,
+// partition and mixed-fault variants) across many seeds and asserts
+// the control plane's contract every time:
+//
+//   - complete: every tenant cell eventually lands,
+//   - exactly once: each cell lands once in the ledger (and journal),
+//     however many orphaned or duplicate deliveries the failures made,
+//   - reconciled: granted = consumed + refunded at every envelope,
+//   - byte-identical replay: each (scenario, seed) runs twice and the
+//     two digests must agree bit for bit.
+
+// SoakOptions configure a fleet soak. Zero values select the defaults
+// noted on each field.
+type SoakOptions struct {
+	// Seeds is how many seeds each scenario runs under (default 5).
+	Seeds int
+	// Chips, SlotsPerChip, Tenants and CellsPerTenant size each run
+	// (defaults 6, 2, 10, 4).
+	Chips, SlotsPerChip     int
+	Tenants, CellsPerTenant int
+	// Kill is how many chips the kill-k scenario crashes mid-run
+	// (default 2; clamped to Chips-1).
+	Kill int
+	// Scenarios restricts the soak to the named scenarios (nil = all).
+	Scenarios []string
+	// Pool bounds how many (scenario, seed) runs execute concurrently;
+	// nil draws from the process-wide shared budget. Results land in
+	// canonical grid order, so the report is identical at any setting.
+	Pool *par.Pool
+	// JournalDir, when non-empty, journals every run to a file under it
+	// and asserts journal completeness too (one final record per cell).
+	JournalDir string
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Seeds == 0 {
+		o.Seeds = 5
+	}
+	if o.Chips == 0 {
+		o.Chips = 6
+	}
+	if o.SlotsPerChip == 0 {
+		o.SlotsPerChip = 2
+	}
+	if o.Tenants == 0 {
+		o.Tenants = 10
+	}
+	if o.CellsPerTenant == 0 {
+		o.CellsPerTenant = 4
+	}
+	if o.Kill == 0 {
+		o.Kill = 2
+	}
+	return o
+}
+
+// SoakRun is one (scenario, seed) outcome.
+type SoakRun struct {
+	Scenario string
+	Seed     uint64
+	Result   Result
+	// ReplayIdentical records whether the immediate re-run reproduced
+	// the digest exactly.
+	ReplayIdentical bool
+	// Violations lists every broken invariant (empty on a clean run).
+	Violations []string
+}
+
+// SoakReport is a completed fleet soak.
+type SoakReport struct {
+	Scenarios []string
+	Runs      []SoakRun
+	Failures  int
+}
+
+// Passed reports whether every run upheld every invariant.
+func (r SoakReport) Passed() bool { return r.Failures == 0 }
+
+// Summary renders a one-line-per-scenario digest of the soak.
+func (r SoakReport) Summary() string {
+	type agg struct {
+		runs, fails    int
+		reexec, orphan int64
+	}
+	byScen := map[string]*agg{}
+	for _, res := range r.Runs {
+		a := byScen[res.Scenario]
+		if a == nil {
+			a = &agg{}
+			byScen[res.Scenario] = a
+		}
+		a.runs++
+		a.reexec += res.Result.Stats.ReExecutions
+		a.orphan += res.Result.Stats.OrphanDeliveries
+		if len(res.Violations) > 0 {
+			a.fails++
+		}
+	}
+	names := make([]string, 0, len(byScen))
+	for n := range byScen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("fleet soak: %d runs, %d failures\n", len(r.Runs), r.Failures)
+	for _, n := range names {
+		a := byScen[n]
+		out += fmt.Sprintf("  %-10s %3d seeds, %3d failures, %4d re-executions, %4d orphan deliveries\n",
+			n, a.runs, a.fails, a.reexec, a.orphan)
+	}
+	return out
+}
+
+// soakScenario builds a fault schedule for one run. killTick is chosen
+// mid-run: with ~Tenants×CellsPerTenant×meanDuration serial ticks of
+// work over Chips×Slots slots, tick 6 lands well inside the first wave
+// of leases.
+type soakScenario struct {
+	name  string
+	sched func(o SoakOptions, seed uint64) fault.ChipSchedule
+}
+
+// SoakScenarios returns the names of all built-in fleet scenarios.
+func SoakScenarios() []string {
+	out := make([]string, len(soakScenarios))
+	for i, s := range soakScenarios {
+		out[i] = s.name
+	}
+	return out
+}
+
+var soakScenarios = []soakScenario{
+	{name: "kill-k", sched: func(o SoakOptions, seed uint64) fault.ChipSchedule {
+		// Two waves of kills: K chips at tick 6 and one more at tick 14,
+		// so recovery itself is also hit by a failure.
+		s := fault.KillK(o.Chips, o.Kill, 6)
+		s.Events = append(s.Events, fault.ChipEvent{
+			Tick: 14, Chip: (o.Chips - 1) - int(seed%uint64(o.Chips)), Kind: fault.ChipCrash, Duration: 25,
+		})
+		return s
+	}},
+	{name: "hang", sched: func(o SoakOptions, seed uint64) fault.ChipSchedule {
+		// Hangs long enough for the detector to confirm death, so the
+		// frozen attempts come back as orphans after re-placement.
+		var s fault.ChipSchedule
+		for i := 0; i < o.Chips; i += 2 {
+			s.Events = append(s.Events, fault.ChipEvent{
+				Tick: 5 + int64(i), Chip: i, Kind: fault.ChipHang, Duration: 18 + int64(seed%5),
+			})
+		}
+		return s
+	}},
+	{name: "hbloss", sched: func(o SoakOptions, seed uint64) fault.ChipSchedule {
+		// Partitions: chips keep executing while silent, manufacturing
+		// false suspicions, false deaths, orphan and duplicate deliveries.
+		var s fault.ChipSchedule
+		for i := 1; i < o.Chips; i += 2 {
+			s.Events = append(s.Events, fault.ChipEvent{
+				Tick: 4 + int64(i), Chip: i, Kind: fault.ChipHBLoss, Duration: 16 + int64(seed%4),
+			})
+		}
+		return s
+	}},
+	{name: "mixed", sched: func(o SoakOptions, seed uint64) fault.ChipSchedule {
+		s, err := fault.GenerateChipFaults(fault.ChipSpec{
+			Chips: o.Chips, Horizon: 60, Rate: 2.5, Seed: seed,
+		})
+		if err != nil {
+			panic(err) // unreachable: the spec is valid by construction
+		}
+		return s
+	}},
+}
+
+// AggressiveDetector is the soak's aggressive failure-detector tuning: a chip
+// is suspected after 3 silent ticks and confirmed dead one recheck
+// later, so 16-tick outages are reliably (mis)classified as deaths.
+var AggressiveDetector = DetectorConfig{
+	Suspect:     3 * tickLen,
+	BackoffBase: 1 * tickLen,
+	BackoffCap:  4 * tickLen,
+	Confirm:     2,
+}
+
+// Soak executes the fleet soak.
+func Soak(opts SoakOptions) (SoakReport, error) {
+	opts = opts.withDefaults()
+	if opts.Seeds < 0 {
+		return SoakReport{}, fmt.Errorf("fleet: negative soak seeds %d", opts.Seeds)
+	}
+	selected := soakScenarios
+	if len(opts.Scenarios) > 0 {
+		selected = nil
+		for _, want := range opts.Scenarios {
+			found := false
+			for _, s := range soakScenarios {
+				if s.name == want {
+					selected = append(selected, s)
+					found = true
+				}
+			}
+			if !found {
+				return SoakReport{}, fmt.Errorf("fleet: unknown soak scenario %q (have %v)", want, SoakScenarios())
+			}
+		}
+	}
+	rep := SoakReport{}
+	type job struct {
+		s    soakScenario
+		seed uint64
+	}
+	jobs := make([]job, 0, len(selected)*opts.Seeds)
+	for _, s := range selected {
+		rep.Scenarios = append(rep.Scenarios, s.name)
+		for i := 0; i < opts.Seeds; i++ {
+			jobs = append(jobs, job{s: s, seed: uint64(i)*0x9e3779b97f4a7c15 + 1})
+		}
+	}
+	runs := make([]SoakRun, len(jobs))
+	par.Resolve(opts.Pool).ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		runs[i] = soakOne(j.s, j.seed, opts)
+	})
+	for _, res := range runs {
+		if len(res.Violations) > 0 {
+			rep.Failures++
+		}
+	}
+	rep.Runs = runs
+	return rep, nil
+}
+
+// soakOne runs one (scenario, seed) twice under a panic barrier and
+// checks every invariant.
+func soakOne(s soakScenario, seed uint64, opts SoakOptions) (run SoakRun) {
+	run = SoakRun{Scenario: s.name, Seed: seed, ReplayIdentical: true}
+	defer func() {
+		if p := recover(); p != nil {
+			run.Violations = append(run.Violations, fmt.Sprintf("panic: %v", p))
+		}
+	}()
+	build := func() Options {
+		return Options{
+			Chips:        opts.Chips,
+			SlotsPerChip: opts.SlotsPerChip,
+			// An aggressive detector (confirmation after ~4 ticks of
+			// silence) relative to 3-8 tick cells, so partitions and hangs
+			// are regularly mistaken for deaths and the orphan/duplicate
+			// paths get real traffic.
+			Detector: AggressiveDetector,
+			Work: SyntheticWork{
+				TenantCount:    opts.Tenants,
+				CellsPerTenant: opts.CellsPerTenant,
+				Seed:           seed,
+			},
+			Faults:   s.sched(opts, seed),
+			MaxTicks: 2_000,
+		}
+	}
+
+	var journal *supervise.Journal
+	if opts.JournalDir != "" {
+		path := filepath.Join(opts.JournalDir, fmt.Sprintf("fleet-%s-%d.jsonl", s.name, seed))
+		meta := fmt.Sprintf("fleet-soak v1 %s seed=%d chips=%d", s.name, seed, opts.Chips)
+		j, err := supervise.OpenJournal(path, meta, false)
+		if err != nil {
+			run.Violations = append(run.Violations, fmt.Sprintf("journal open: %v", err))
+			return run
+		}
+		journal = j
+		defer journal.Close()
+	}
+
+	first := build()
+	first.Journal = journal
+	res, err := Run(first)
+	if err != nil {
+		run.Violations = append(run.Violations, fmt.Sprintf("run: %v", err))
+		return run
+	}
+	run.Result = res
+	if !res.Complete {
+		run.Violations = append(run.Violations,
+			fmt.Sprintf("incomplete: %d/%d cells landed in %d ticks", res.Landed, res.Cells, res.Stats.Ticks))
+	}
+	if !res.ExactlyOnce {
+		run.Violations = append(run.Violations, "exactly-once violated: a cell landed != 1 times")
+	}
+	if !res.Reconciled {
+		run.Violations = append(run.Violations, "budget unreconciled: granted != consumed + refunded")
+	}
+	if journal != nil {
+		if got := journal.Completed(); got != res.Cells {
+			run.Violations = append(run.Violations,
+				fmt.Sprintf("journal holds %d final records, want %d", got, res.Cells))
+		}
+	}
+
+	// Replay: the second run must produce the identical digest. It runs
+	// without the journal (the journal's dedup state is external input).
+	res2, err := Run(build())
+	if err != nil {
+		run.Violations = append(run.Violations, fmt.Sprintf("replay: %v", err))
+		return run
+	}
+	run.ReplayIdentical = res.Digest == res2.Digest
+	if !run.ReplayIdentical {
+		run.Violations = append(run.Violations,
+			fmt.Sprintf("replay diverged: digest %016x vs %016x", res.Digest, res2.Digest))
+	}
+	return run
+}

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"cash/internal/alloc"
+	"cash/internal/experiment"
+	"cash/internal/vcore"
+	"cash/internal/workload"
+)
+
+// Work is what the fleet executes: M tenants, each a list of cells. A
+// cell occupies one chip slot for Duration ticks in configuration
+// Config, and Run produces its result payload. Run MUST be
+// deterministic per (tenant, cell) — the exactly-once guarantee is that
+// every cell's (single, well-defined) result lands once, so a cell that
+// returned different payloads on re-execution would make "the result"
+// meaningless.
+type Work interface {
+	// Tenants is the number of tenants.
+	Tenants() int
+	// Cells is tenant t's cell count.
+	Cells(tenant int) int
+	// Duration is the execution time of a cell in fleet ticks (> 0).
+	Duration(tenant, cell int) int64
+	// Config is the sub-core configuration the cell rents, for pricing.
+	Config(tenant, cell int) vcore.Config
+	// Run computes the cell's result payload.
+	Run(tenant, cell int) (string, error)
+}
+
+// CellKey is the canonical journal key for a cell.
+func CellKey(tenant, cell int) string { return fmt.Sprintf("fleet t%02d c%03d", tenant, cell) }
+
+// SyntheticWork is hash-derived filler work for tests and the chaos
+// soak: durations, configurations and payloads are all pure functions
+// of (Seed, tenant, cell), so runs replay byte-identically and Run is
+// instant.
+type SyntheticWork struct {
+	// TenantCount and CellsPerTenant shape the grid. Required.
+	TenantCount, CellsPerTenant int
+	// MinTicks and MaxTicks bound cell durations (defaults 3 and 8).
+	MinTicks, MaxTicks int64
+	// Seed varies the hash.
+	Seed uint64
+}
+
+func (w SyntheticWork) withDefaults() SyntheticWork {
+	if w.MinTicks == 0 {
+		w.MinTicks = 3
+	}
+	if w.MaxTicks == 0 {
+		w.MaxTicks = 8
+	}
+	return w
+}
+
+// hash is an FNV-1a style mix of the cell coordinates and seed.
+func (w SyntheticWork) hash(tenant, cell int) uint64 {
+	h := uint64(1469598103934665603) ^ w.Seed
+	for _, v := range [...]uint64{uint64(tenant), uint64(cell)} {
+		h ^= v
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	return h
+}
+
+// Tenants implements Work.
+func (w SyntheticWork) Tenants() int { return w.TenantCount }
+
+// Cells implements Work.
+func (w SyntheticWork) Cells(int) int { return w.CellsPerTenant }
+
+// Duration implements Work.
+func (w SyntheticWork) Duration(tenant, cell int) int64 {
+	w = w.withDefaults()
+	span := w.MaxTicks - w.MinTicks + 1
+	return w.MinTicks + int64(w.hash(tenant, cell)%uint64(span))
+}
+
+// Config implements Work: cells cycle through a small ladder of
+// sub-core shapes so pricing varies across the grid.
+func (w SyntheticWork) Config(tenant, cell int) vcore.Config {
+	ladder := [...]vcore.Config{
+		{Slices: 1, L2KB: 64},
+		{Slices: 1, L2KB: 256},
+		{Slices: 2, L2KB: 512},
+		{Slices: 4, L2KB: 1024},
+	}
+	return ladder[w.hash(tenant, cell)%uint64(len(ladder))]
+}
+
+// Run implements Work with a deterministic payload.
+func (w SyntheticWork) Run(tenant, cell int) (string, error) {
+	return fmt.Sprintf("synth %016x", w.hash(tenant, cell)*2654435761), nil
+}
+
+// ExperimentWork runs real CASH experiments as fleet cells: tenant t is
+// an application, cell c a static sub-core configuration it rents, and
+// the payload is the run's experiment.Brief. Results are memoized so a
+// re-executed cell (after a chip death) recomputes nothing — the second
+// attempt is the same deterministic run.
+type ExperimentWork struct {
+	// Apps are the tenant applications, one tenant each. Required.
+	Apps []workload.App
+	// Configs is the per-tenant cell ladder (cell c rents Configs[c]).
+	// Required.
+	Configs []vcore.Config
+	// Target is the QoS IPC floor shared by all runs. Required.
+	Target float64
+	// MaxQuanta bounds each cell's run (default 6).
+	MaxQuanta int
+	// Seed drives the workload generators (default 42).
+	Seed uint64
+	// BaseTicks is the duration of a 1-slice cell in fleet ticks
+	// (default 3); wider configurations take proportionally longer.
+	BaseTicks int64
+
+	mu   sync.Mutex
+	memo map[[2]int]string
+}
+
+func (w *ExperimentWork) withDefaults() {
+	if w.MaxQuanta == 0 {
+		w.MaxQuanta = 6
+	}
+	if w.Seed == 0 {
+		w.Seed = 42
+	}
+	if w.BaseTicks == 0 {
+		w.BaseTicks = 3
+	}
+}
+
+// Tenants implements Work.
+func (w *ExperimentWork) Tenants() int { return len(w.Apps) }
+
+// Cells implements Work.
+func (w *ExperimentWork) Cells(int) int { return len(w.Configs) }
+
+// Duration implements Work: wider rentals model longer occupancy.
+func (w *ExperimentWork) Duration(tenant, cell int) int64 {
+	w.withDefaults()
+	return w.BaseTicks + int64(w.Configs[cell].Slices)
+}
+
+// Config implements Work.
+func (w *ExperimentWork) Config(tenant, cell int) vcore.Config { return w.Configs[cell] }
+
+// Run implements Work by executing the experiment under a static
+// allocator and summarising it.
+func (w *ExperimentWork) Run(tenant, cell int) (string, error) {
+	w.mu.Lock()
+	w.withDefaults()
+	if w.memo == nil {
+		w.memo = make(map[[2]int]string)
+	}
+	if v, ok := w.memo[[2]int{tenant, cell}]; ok {
+		w.mu.Unlock()
+		return v, nil
+	}
+	w.mu.Unlock()
+	res, err := experiment.Run(w.Apps[tenant], alloc.Static{Cfg: w.Configs[cell]}, experiment.Opts{
+		Target:    w.Target,
+		MaxQuanta: w.MaxQuanta,
+		Seed:      w.Seed,
+	})
+	if err != nil {
+		return "", fmt.Errorf("fleet: cell %s: %w", CellKey(tenant, cell), err)
+	}
+	v := res.Brief().String()
+	w.mu.Lock()
+	w.memo[[2]int{tenant, cell}] = v
+	w.mu.Unlock()
+	return v, nil
+}

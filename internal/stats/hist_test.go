@@ -108,6 +108,85 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeProperty is the full merge property: folding any
+// number of shards in any order is equivalent to recording every sample
+// into a single histogram. Count/sum/min/max must agree exactly; each
+// quantile must agree within the bucket resolution (1/histSubBuckets ≈
+// 3.2% relative, plus half a bucket of midpoint rounding). The shard
+// sizes straddle histExactMax so every merge-mode combination
+// (exact+exact, exact+bucket, bucket+bucket) occurs across trials.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for trial := 0; trial < 30; trial++ {
+		nShards := 2 + rng.Intn(6)
+		shards := make([]*Histogram, nShards)
+		var all Histogram
+		for s := range shards {
+			shards[s] = &Histogram{}
+			// Sizes from tiny (stays exact) to thousands (spills).
+			n := 1 + rng.Intn(3*histExactMax)
+			for i := 0; i < n; i++ {
+				var v int64
+				switch (trial + s) % 3 {
+				case 0:
+					v = int64(rng.Intn(500))
+				case 1:
+					v = int64(rng.ExpFloat64() * 90_000)
+				default:
+					v = int64(rng.Intn(1 << 45))
+				}
+				shards[s].Record(v)
+				all.Record(v)
+			}
+		}
+		// Fold the shards in a random permutation order.
+		var merged Histogram
+		for _, s := range rng.Perm(nShards) {
+			merged.Merge(shards[s])
+		}
+		if merged.Count() != all.Count() || merged.Sum() != all.Sum() ||
+			merged.Min() != all.Min() || merged.Max() != all.Max() {
+			t.Fatalf("trial %d (%d shards): merged count/sum/min/max = %d/%d/%d/%d, want %d/%d/%d/%d",
+				trial, nShards, merged.Count(), merged.Sum(), merged.Min(), merged.Max(),
+				all.Count(), all.Sum(), all.Min(), all.Max())
+		}
+		for _, q := range quantiles {
+			got, want := merged.Quantile(q), all.Quantile(q)
+			tol := want/histSubBuckets + 1
+			if diff := got - want; diff > tol || diff < -tol {
+				t.Fatalf("trial %d q=%v: merged %v, single-histogram %v (tol %v)",
+					trial, q, got, want, tol)
+			}
+		}
+		// Order independence: a second permutation must agree with the
+		// first on every quantile, not merely within tolerance of the
+		// combined reference.
+		var merged2 Histogram
+		for _, s := range rng.Perm(nShards) {
+			merged2.Merge(shards[s])
+		}
+		for _, q := range quantiles {
+			a, b := merged.Quantile(q), merged2.Quantile(q)
+			tol := a/histSubBuckets + 1
+			if diff := a - b; diff > tol || diff < -tol {
+				t.Fatalf("trial %d q=%v: merge order changed the quantile: %v vs %v", trial, q, a, b)
+			}
+		}
+		if merged.Count() != merged2.Count() || merged.Sum() != merged2.Sum() {
+			t.Fatalf("trial %d: merge order changed count/sum", trial)
+		}
+	}
+	// Degenerate operands: merging nil and empty histograms is a no-op.
+	var h, empty Histogram
+	h.Record(7)
+	h.Merge(nil)
+	h.Merge(&empty)
+	if h.Count() != 1 || h.Quantile(1) != 7 {
+		t.Fatalf("nil/empty merge disturbed the histogram: count=%d", h.Count())
+	}
+}
+
 // TestHistogramResetReuse: a reset histogram must behave as a fresh one
 // while retaining its bucket storage.
 func TestHistogramReset(t *testing.T) {

@@ -6,12 +6,16 @@ import (
 )
 
 // Clock abstracts the supervisor's view of wall time so tests can drive
-// timeouts and backoff deterministically.
+// timeouts and backoff deterministically. The fleet control plane's
+// failure detector timestamps heartbeats through the same interface, so
+// suspicion and confirmation logic is fake-clock testable end to end.
 type Clock interface {
 	// After returns a channel that fires once d has elapsed.
 	After(d time.Duration) <-chan time.Time
 	// Sleep blocks for d.
 	Sleep(d time.Duration)
+	// Now returns the clock's current time.
+	Now() time.Time
 }
 
 // realClock is the production clock.
@@ -19,6 +23,7 @@ type realClock struct{}
 
 func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) Now() time.Time                         { return time.Now() }
 
 // RealClock returns the wall clock.
 func RealClock() Clock { return realClock{} }
@@ -57,6 +62,13 @@ func (c *FakeClock) After(d time.Duration) <-chan time.Time {
 }
 
 func (c *FakeClock) Sleep(d time.Duration) { <-c.After(d) }
+
+// Now returns the fake clock's current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
 // Advance moves the clock forward, firing every timer whose deadline
 // has passed.

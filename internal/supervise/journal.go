@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -59,6 +60,7 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	meta string
 	// final holds the latest ok/failed record per key.
 	final map[string]Entry
 	// Attempts counts attempt records loaded from disk.
@@ -95,7 +97,7 @@ func OpenJournal(path, meta string, resume bool) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("supervise: opening journal: %w", err)
 	}
-	j := &Journal{f: f, path: path, final: make(map[string]Entry)}
+	j := &Journal{f: f, path: path, meta: meta, final: make(map[string]Entry)}
 
 	keep := false
 	if resume {
@@ -245,6 +247,100 @@ func (j *Journal) Record(e Entry) error {
 			return fmt.Errorf("supervise: journal sync: %w", err)
 		}
 	}
+	return nil
+}
+
+// RecordOnce appends a final record only if its key has no final record
+// yet, reporting whether this record won. It is the fleet control
+// plane's exactly-once gate: however many times a cell was attempted
+// across chip deaths and lease expiries, only the first delivered
+// result lands in the journal — later deliveries are deduplicated by
+// the caller using the false return.
+func (j *Journal) RecordOnce(e Entry) (won bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.final[e.Key]; ok {
+		return false, nil
+	}
+	if err := j.append(e); err != nil {
+		return false, err
+	}
+	j.final[e.Key] = e
+	if err := j.f.Sync(); err != nil {
+		return false, fmt.Errorf("supervise: journal sync: %w", err)
+	}
+	return true, nil
+}
+
+// Compact rewrites the journal keeping only the meta header and the
+// winning final record per key, in sorted key order, with every line's
+// CRC re-stamped. Attempt records and superseded finals are dropped, so
+// repeated kill/resume cycles do not grow the file without bound. The
+// rewrite is atomic (temp file + rename); on any error the original
+// journal is left untouched and still open.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("supervise: compacting closed journal")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".cash-journal-compact-*")
+	if err != nil {
+		return fmt.Errorf("supervise: compact temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	write := func(e Entry) error {
+		sum, err := e.checksum()
+		if err != nil {
+			return err
+		}
+		e.Sum = sum
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = tmp.Write(append(b, '\n'))
+		return err
+	}
+	werr := write(Entry{Status: StatusMeta, Meta: j.meta})
+	keys := make([]string, 0, len(j.final))
+	for k := range j.final {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if werr != nil {
+			break
+		}
+		e := j.final[k]
+		e.Sum = ""
+		werr = write(e)
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("supervise: compact write: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("supervise: compact rename: %w", err)
+	}
+	// Swap the open handle to the compacted file, positioned for appends.
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("supervise: reopening compacted journal: %w", err)
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return fmt.Errorf("supervise: seeking compacted journal: %w", err)
+	}
+	j.f.Close()
+	j.f = nf
+	j.Attempts = 0
 	return nil
 }
 
