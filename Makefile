@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race check bench lint fuzz-smoke chaos
+.PHONY: build test vet race check bench lint fuzz-smoke chaos daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,16 @@ CHAOS_FLAGS ?=
 
 chaos: build
 	$(GO) run ./cmd/cashsim -chaos $(CHAOS_FLAGS)
+
+# daemon-smoke exercises cashd's crash-safety end to end with real
+# processes: start, submit, kill -9, restart on the same journal,
+# assert exactly-once execution and reconciled spend, drain clean.
+# DAEMON_SMOKE_DIR keeps the working directory (journal included) for
+# post-mortem; default is a fresh mktemp dir.
+DAEMON_SMOKE_DIR ?=
+
+daemon-smoke:
+	./scripts/daemon-smoke.sh $(DAEMON_SMOKE_DIR)
 
 # bench runs the throughput-critical benchmarks and refreshes
 # BENCH.json (headline: best Minstr/s from

@@ -13,13 +13,20 @@ package cash
 // and later ones do not. `cashsim -scale 1 all` runs the full thing.
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
+	"time"
 
 	"cash/internal/alloc"
+	"cash/internal/daemon"
+	daemonclient "cash/internal/daemon/client"
 	"cash/internal/experiment"
 	"cash/internal/figs"
 	"cash/internal/oracle"
@@ -321,6 +328,72 @@ func BenchmarkReconfigure(b *testing.B) {
 			target = small
 		}
 		if _, err := sim.Reconfigure(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireCodec measures one cashd frame round-trip — encode a
+// request, decode it, encode the response, decode it — the per-message
+// floor of the daemon protocol.
+func BenchmarkWireCodec(b *testing.B) {
+	req := daemon.Request{ID: 1, Method: daemon.MethodSubmit, Idem: "bench-key",
+		Params: json.RawMessage(`{"name":"bench","cells":16,"seed":42}`)}
+	resp := daemon.Response{ID: 1, Code: daemon.CodeOK,
+		Result: json.RawMessage(`{"name":"bench","cells":16,"estimate_nanos":123456}`)}
+	var buf bytes.Buffer
+	br := bufio.NewReader(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		br.Reset(&buf)
+		if err := daemon.WriteFrame(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+		var gotReq daemon.Request
+		if err := daemon.ReadFrame(br, &gotReq); err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		br.Reset(&buf)
+		if err := daemon.WriteFrame(&buf, resp); err != nil {
+			b.Fatal(err)
+		}
+		var gotResp daemon.Response
+		if err := daemon.ReadFrame(br, &gotResp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDaemonSubmit measures a full client→daemon submit round
+// trip over the Unix socket: journaled (fsynced) admission plus the
+// acknowledgement — the daemon's mutation-path latency.
+func BenchmarkDaemonSubmit(b *testing.B) {
+	dir := b.TempDir()
+	srv, err := daemon.Start(daemon.Options{
+		Socket:  filepath.Join(dir, "cashd.sock"),
+		Journal: filepath.Join(dir, "journal.jsonl"),
+		// A long epoch keeps the core free for requests: this measures
+		// the submit path, not cell execution.
+		Epoch:    time.Second,
+		QueueCap: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Kill()
+	cl, err := daemonclient.Dial(daemonclient.Options{Socket: srv.Socket()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := daemon.TenantSpec{Name: fmt.Sprintf("t%07d", i), Cells: 1, Seed: uint64(i)}
+		if _, err := cl.Submit(fmt.Sprintf("k%07d", i), spec); err != nil {
 			b.Fatal(err)
 		}
 	}

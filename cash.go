@@ -35,6 +35,9 @@ import (
 	"cash/internal/alloc"
 	"cash/internal/cashrt"
 	"cash/internal/cost"
+	"cash/internal/daemon"
+	"cash/internal/daemon/client"
+	daemonsoak "cash/internal/daemon/soak"
 	"cash/internal/experiment"
 	"cash/internal/fault"
 	"cash/internal/figs"
@@ -187,6 +190,61 @@ func FleetSoakScenarios() []string { return fleet.SoakScenarios() }
 // KillK returns a chip fault schedule that crashes k of n chips at the
 // given tick, spread evenly across the fleet.
 func KillK(chips, k int, tick int64) ChipFaultSchedule { return fault.KillK(chips, k, tick) }
+
+// cashd is the fleet daemon: a long-lived server that owns a hosted
+// fleet behind a Unix socket, journals every mutation before
+// acknowledging it (kill -9 safe), sheds load at a bounded queue and
+// drains gracefully on SIGTERM. See cmd/cashd for the binary and
+// internal/daemon for the state machine.
+type (
+	// DaemonOptions configure a cashd instance.
+	DaemonOptions = daemon.Options
+	// DaemonServer is a running cashd instance.
+	DaemonServer = daemon.Server
+	// DaemonTenantSpec is a submit-tenant request body.
+	DaemonTenantSpec = daemon.TenantSpec
+	// DaemonEpoch is one watch-epochs stream event.
+	DaemonEpoch = daemon.Epoch
+	// DaemonClient is the retrying cashd client: capped exponential
+	// backoff with deterministic jitter, retries only when safe
+	// (idempotent reads always, mutations only under an idempotency
+	// key).
+	DaemonClient = client.Client
+	// DaemonClientOptions configure a DaemonClient.
+	DaemonClientOptions = client.Options
+	// DaemonSoakOptions configure the daemon chaos soak.
+	DaemonSoakOptions = daemonsoak.Options
+	// DaemonSoakReport is a completed daemon chaos soak.
+	DaemonSoakReport = daemonsoak.Report
+	// WireFaultSpec parameterises deterministic wire-level fault
+	// injection (drop/delay/duplicate/truncate/reorder).
+	WireFaultSpec = fault.WireSpec
+)
+
+// StartDaemon launches a cashd instance: journal resumed, socket
+// bound, fleet loop running.
+func StartDaemon(opts DaemonOptions) (*DaemonServer, error) { return daemon.Start(opts) }
+
+// DialDaemon creates a retrying client for a cashd socket.
+func DialDaemon(opts DaemonClientOptions) (*DaemonClient, error) { return client.Dial(opts) }
+
+// RunDaemonSoak executes the daemon chaos soak: seeded wire faults,
+// kill -9 + restart cycles on a shared journal, exactly-once tenant
+// execution, nanodollar-exact spend reconciliation and digest-identical
+// replay.
+func RunDaemonSoak(opts DaemonSoakOptions) (DaemonSoakReport, error) { return daemonsoak.Run(opts) }
+
+// DefaultDaemonSocketPath returns the conventional cashd socket
+// location ($CASHD_SOCKET, else the user cache directory).
+func DefaultDaemonSocketPath() string { return daemon.DefaultSocketPath() }
+
+// DefaultDaemonJournalPath returns the conventional cashd journal
+// location ($CASHD_JOURNAL, else the user cache directory).
+func DefaultDaemonJournalPath() string { return daemon.DefaultJournalPath() }
+
+// DefaultWireFaultSpec returns the chaos soak's wire fault mix for a
+// seed: 5% drop, 5% delay, 4% duplicate, 3% truncate, 3% reorder.
+func DefaultWireFaultSpec(seed uint64) WireFaultSpec { return fault.DefaultWireSpec(seed) }
 
 // RunChaos executes the chaos soak: adversarial workloads (phase
 // storms, load spikes, all-miss memory phases), injected tile faults

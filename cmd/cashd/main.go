@@ -1,0 +1,123 @@
+// Command cashd runs the CASH fleet daemon: a long-lived server that
+// hosts tenant grids on a simulated chip fleet behind a Unix socket.
+//
+// Usage:
+//
+//	cashd [-socket path] [-journal path] [-chips n] [-slots n]
+//	      [-queue-cap n] [-epoch d] [-drain-timeout d]
+//	      [-fault-seed n] [-fault-drop r] [-fault-delay r] [-fault-dup r]
+//	      [-fault-truncate r] [-fault-reorder r] [-v]
+//
+// The daemon speaks a length-prefixed JSONL protocol (submit-tenant,
+// query-alloc, query-spend, watch-epochs, health, drain); use the
+// cashsim daemon-* subcommands or the cash.DialDaemon client to talk to
+// it. Every mutation is journaled and fsynced before it is
+// acknowledged, so a kill -9 at any point loses nothing that was acked:
+// restarting on the same -journal resumes exactly where the crash left
+// off, and re-submitting under the same idempotency key returns the
+// original acknowledgement instead of double-applying.
+//
+// SIGTERM and SIGINT drain gracefully: the daemon stops admitting
+// mutations, finishes (or, after -drain-timeout, abandons and refunds)
+// outstanding work, compacts the journal and exits 0. A second signal
+// exits immediately, crash-style — safe by the same journal contract.
+//
+// The -fault-* flags arm deterministic wire-level fault injection
+// (drop/delay/duplicate/truncate/reorder per response frame, seeded by
+// -fault-seed) for chaos testing the client stack against a hostile
+// wire; rates given without a seed use seed 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cash"
+)
+
+func main() {
+	socket := flag.String("socket", cash.DefaultDaemonSocketPath(), "unix socket to serve on")
+	journal := flag.String("journal", cash.DefaultDaemonJournalPath(), "crash-safe state journal (resumed on restart)")
+	chips := flag.Int("chips", 0, "hosted fleet chips (0 = default, 4)")
+	slots := flag.Int("slots", 0, "slots per chip (0 = default, 2)")
+	queueCap := flag.Int("queue-cap", 0, "bounded request queue capacity; past it requests shed with RETRY_AFTER (0 = default, 64)")
+	epoch := flag.Duration("epoch", 0, "fleet tick interval (0 = default, 20ms)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "graceful drain budget before abandoning outstanding work (0 = default, 10s)")
+	faultSeed := flag.Uint64("fault-seed", 0, "wire fault injection seed (0 disables unless a rate is set)")
+	faultDrop := flag.Float64("fault-drop", -1, "wire fault drop rate (-1 = default when armed)")
+	faultDelay := flag.Float64("fault-delay", -1, "wire fault delay rate (-1 = default when armed)")
+	faultDup := flag.Float64("fault-dup", -1, "wire fault duplicate rate (-1 = default when armed)")
+	faultTruncate := flag.Float64("fault-truncate", -1, "wire fault truncate-and-sever rate (-1 = default when armed)")
+	faultReorder := flag.Float64("fault-reorder", -1, "wire fault reorder rate (-1 = default when armed)")
+	verbose := flag.Bool("v", false, "log admissions, drains and journal events to stderr")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: cashd [-socket path] [-journal path] [flags]\nrun 'cashd -h' for the full list\n")
+		os.Exit(2)
+	}
+
+	opts := cash.DaemonOptions{
+		Socket: *socket, Journal: *journal,
+		Chips: *chips, SlotsPerChip: *slots,
+		QueueCap: *queueCap, Epoch: *epoch, DrainTimeout: *drainTimeout,
+		WireFaults: wireSpec(*faultSeed, *faultDrop, *faultDelay, *faultDup, *faultTruncate, *faultReorder),
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	srv, err := cash.StartDaemon(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cashd: serving on %s (journal %s)\n", *socket, *journal)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "cashd: draining (signal again to exit immediately)")
+		srv.Drain()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "cashd: exiting immediately")
+		srv.Kill()
+	}()
+
+	if err := srv.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "cashd:", err)
+		os.Exit(1)
+	}
+}
+
+// wireSpec assembles the fault injection spec: inactive unless a seed
+// or at least one rate was given; unset rates take the default mix.
+func wireSpec(seed uint64, drop, delay, dup, truncate, reorder float64) cash.WireFaultSpec {
+	rated := drop >= 0 || delay >= 0 || dup >= 0 || truncate >= 0 || reorder >= 0
+	if seed == 0 && !rated {
+		return cash.WireFaultSpec{}
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	spec := cash.DefaultWireFaultSpec(seed)
+	if drop >= 0 {
+		spec.DropRate = drop
+	}
+	if delay >= 0 {
+		spec.DelayRate = delay
+	}
+	if dup >= 0 {
+		spec.DupRate = dup
+	}
+	if truncate >= 0 {
+		spec.TruncateRate = truncate
+	}
+	if reorder >= 0 {
+		spec.ReorderRate = reorder
+	}
+	return spec
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cash"
+)
+
+// daemonArtifacts lists the cashd client subcommands.
+const daemonArtifacts = "daemon-submit daemon-alloc daemon-spend daemon-health daemon-watch daemon-drain"
+
+// isDaemonArtifact reports whether artifact is a cashd client
+// subcommand rather than a simulation artifact.
+func isDaemonArtifact(artifact string) bool {
+	for _, a := range strings.Fields(daemonArtifacts) {
+		if artifact == a {
+			return true
+		}
+	}
+	return false
+}
+
+// daemonFlags carries the cashd client flags from main.
+type daemonFlags struct {
+	socket       string
+	idem         string
+	tenant       string
+	cells        int
+	tenantSeed   uint64
+	drainTimeout time.Duration
+}
+
+// runDaemonCommand executes one cashd client subcommand through the
+// retrying client and renders the reply as indented JSON.
+func runDaemonCommand(w io.Writer, artifact string, f daemonFlags) error {
+	socket := f.socket
+	if socket == "" {
+		socket = cash.DefaultDaemonSocketPath()
+	}
+	cl, err := cash.DialDaemon(cash.DaemonClientOptions{Socket: socket})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	render := func(v any) error {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", b)
+		return err
+	}
+
+	switch artifact {
+	case "daemon-submit":
+		if f.tenant == "" {
+			return fmt.Errorf("daemon-submit needs -tenant")
+		}
+		idem := f.idem
+		if idem == "" {
+			// A stable default key makes plain re-invocations idempotent;
+			// pass -idem for distinct submissions of the same tenant name.
+			idem = "cashsim-" + f.tenant
+		}
+		cells := f.cells
+		if cells == 0 {
+			cells = 4
+		}
+		res, err := cl.Submit(idem, cash.DaemonTenantSpec{Name: f.tenant, Cells: cells, Seed: f.tenantSeed})
+		if err != nil {
+			return err
+		}
+		return render(res)
+	case "daemon-alloc":
+		res, err := cl.Alloc()
+		if err != nil {
+			return err
+		}
+		return render(res)
+	case "daemon-spend":
+		res, err := cl.Spend()
+		if err != nil {
+			return err
+		}
+		return render(res)
+	case "daemon-health":
+		res, err := cl.Health()
+		if err != nil {
+			return err
+		}
+		return render(res)
+	case "daemon-watch":
+		return cl.Watch(f.drainTimeout, func(ev cash.DaemonEpoch) bool {
+			fmt.Fprintf(w, "tick %d: placed %d completed %d landed %d/%d consumed %d nanos",
+				ev.Tick, ev.Placed, ev.Completed, ev.CellsLanded, ev.CellsTotal, ev.ConsumedNanos)
+			if ev.Draining {
+				fmt.Fprint(w, " draining")
+			}
+			if ev.Final {
+				fmt.Fprint(w, " final")
+			}
+			fmt.Fprintln(w)
+			return !ev.Final
+		})
+	case "daemon-drain":
+		if err := cl.Drain(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "draining")
+		return nil
+	}
+	return fmt.Errorf("unknown daemon subcommand %q", artifact)
+}

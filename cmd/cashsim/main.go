@@ -11,7 +11,18 @@
 //	        [-cpuprofile file] [-memprofile file] <artifact>
 //
 // where artifact is one of: fig1 fig2 table1 table2 overhead fig7
-// table3 fig8 fig9 fig10 ablations reliability tail fleet all.
+// table3 fig8 fig9 fig10 ablations reliability tail fleet all — or a
+// daemon command (daemon-submit daemon-alloc daemon-spend daemon-health
+// daemon-watch daemon-drain) that talks to a running cashd (see
+// cmd/cashd) through the retrying client: -socket picks the daemon,
+// -tenant/-cells/-tenant-seed describe a daemon-submit grid, -idem
+// supplies its idempotency key (retried and duplicated submissions
+// under the same key apply exactly once), and -drain-timeout bounds
+// waits. -chaos additionally runs the cashd chaos soak after the fleet
+// soak: -daemon-seeds scenarios, each with seeded wire faults and
+// -daemon-kills kill -9 + restart cycles, asserting exactly-once tenant
+// execution, nanodollar-exact spend reconciliation and digest-identical
+// replay.
 //
 // The fleet artifact is the fleet-scale control-plane study: N
 // simulated chips host M tenants of real CASH experiments under
@@ -74,6 +85,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -106,12 +118,22 @@ func main() {
 	chaosGuard := flag.Bool("chaos-guard", true, "chaos soak: arm the guardrails (false = hazard baseline)")
 	fleetSeeds := flag.Int("fleet-seeds", 5, "fleet chaos soak: seeds per scenario (0 skips the fleet soak)")
 	fleetJournalDir := flag.String("fleet-journal-dir", "", "fleet chaos soak: journal every run under this directory")
+	socket := flag.String("socket", "", "daemon subcommands: cashd unix socket (default $CASHD_SOCKET or the user cache directory)")
+	idem := flag.String("idem", "", "daemon-submit: idempotency key (default derived from -tenant)")
+	tenant := flag.String("tenant", "", "daemon-submit: tenant name")
+	cells := flag.Int("cells", 0, "daemon-submit: cells in the tenant grid (0 = default, 4)")
+	tenantSeed := flag.Uint64("tenant-seed", 0, "daemon-submit: tenant workload seed")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "daemon subcommands and soak: wait budget (must be positive)")
+	daemonSeeds := flag.Int("daemon-seeds", 2, "chaos: daemon soak seeds (0 skips the daemon soak)")
+	daemonKills := flag.Int("daemon-kills", 2, "chaos: daemon kill -9 + restart cycles per seed")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to a file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
-		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-out file]\n\n")
+		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-daemon-seeds n] [-daemon-kills n] [-out file]\n")
+		fmt.Fprintf(os.Stderr, "       cashsim [-socket path] [-idem key] [-tenant name] [-cells n] [-drain-timeout d] <daemon-command>\n\n")
 		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability tail fleet all\n")
+		fmt.Fprintf(os.Stderr, "daemon commands (talk to a running cashd): %s\n", daemonArtifacts)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -128,6 +150,9 @@ func main() {
 		queueCap: *queueCap, stream: *stream, shed: *shed,
 		chaos: *chaosMode, chaosSeeds: *chaosSeeds, fleetSeeds: *fleetSeeds,
 		chips: *chips, tenants: *tenants, kill: *kill,
+		socket: *socket, drainTimeout: *drainTimeout,
+		daemonCmd:   !*chaosMode && flag.NArg() == 1 && isDaemonArtifact(flag.Arg(0)),
+		daemonSeeds: *daemonSeeds, daemonKills: *daemonKills,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "cashsim: %v\nrun 'cashsim -h' for usage\n", err)
 		os.Exit(2)
@@ -153,6 +178,18 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if !*chaosMode && isDaemonArtifact(flag.Arg(0)) {
+		err := runDaemonCommand(w, flag.Arg(0), daemonFlags{
+			socket: *socket, idem: *idem, tenant: *tenant,
+			cells: *cells, tenantSeed: *tenantSeed, drainTimeout: *drainTimeout,
+		})
+		if err != nil {
+			fail(err)
+		}
+		stopProf()
+		return
 	}
 
 	if *chaosMode {
@@ -185,6 +222,23 @@ func main() {
 				}
 			}
 			passed = passed && frep.Passed()
+		}
+		if *daemonSeeds > 0 {
+			dir, err := os.MkdirTemp("", "cashd-soak-*")
+			if err != nil {
+				fail(err)
+			}
+			defer os.RemoveAll(dir)
+			drep, err := cash.RunDaemonSoak(cash.DaemonSoakOptions{
+				Seeds: *daemonSeeds, Kills: *daemonKills, Dir: dir,
+			})
+			if err != nil {
+				fmt.Fprintf(w, "daemon soak: FAIL: %v\n", err)
+				passed = false
+			} else {
+				fmt.Fprintf(w, "daemon soak: %d seeds, %d kills, %d cells exactly-once, %d nanos reconciled, replay digests identical\n",
+					drep.Seeds, drep.Kills, drep.CellsLanded, drep.ConsumedNanos)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "cashsim: chaos soak done in %v\n", time.Since(start).Round(time.Millisecond))
 		stopProf()
@@ -225,6 +279,12 @@ type flagValues struct {
 	chips      int
 	tenants    int
 	kill       int
+
+	socket       string
+	drainTimeout time.Duration
+	daemonCmd    bool
+	daemonSeeds  int
+	daemonKills  int
 }
 
 // validateFlags rejects flag combinations that would otherwise fail
@@ -248,6 +308,22 @@ func validateFlags(v flagValues) error {
 	}
 	if v.chips > 0 && v.kill >= v.chips {
 		return fmt.Errorf("-kill %d must be smaller than -chips %d: killing the whole fleet leaves no survivors to re-place work on", v.kill, v.chips)
+	}
+	if v.socket != "" {
+		if dir := filepath.Dir(v.socket); dir != "." {
+			if _, err := os.Stat(dir); err != nil {
+				return fmt.Errorf("-socket %s: parent directory %s does not exist (is cashd running, and where?)", v.socket, dir)
+			}
+		}
+	}
+	if v.daemonSeeds < 0 || v.daemonKills < 0 {
+		return fmt.Errorf("-daemon-seeds/-daemon-kills must be non-negative, got %d/%d", v.daemonSeeds, v.daemonKills)
+	}
+	if (v.daemonCmd || (v.chaos && v.daemonSeeds > 0)) && v.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout %v must be positive: daemon commands and the daemon soak wait on it", v.drainTimeout)
+	}
+	if v.chaos && v.daemonSeeds > 0 && v.kill > 0 {
+		return fmt.Errorf("-kill sizes the fleet study's crash scenario, not the daemon soak; use -daemon-kills for kill+restart cycles during -chaos")
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateFlagsAccepts(t *testing.T) {
@@ -13,6 +15,10 @@ func TestValidateFlagsAccepts(t *testing.T) {
 		{chaos: true, chaosSeeds: 1, fleetSeeds: 0}, // fleet soak skipped
 		{chips: 8, tenants: 12, kill: 3},
 		{stream: "flash"}, // stream without shed compares both policies
+		{daemonCmd: true, drainTimeout: time.Second},
+		{chaos: true, chaosSeeds: 1, daemonSeeds: 2, daemonKills: 3, drainTimeout: time.Second},
+		{chaos: true, chaosSeeds: 1, daemonSeeds: 0, kill: 0}, // daemon soak skipped
+		{socket: filepath.Join(t.TempDir(), "cashd.sock"), daemonCmd: true, drainTimeout: time.Second},
 	}
 	for _, v := range cases {
 		if err := validateFlags(v); err != nil {
@@ -35,6 +41,13 @@ func TestValidateFlagsRejects(t *testing.T) {
 		{flagValues{kill: -1}, "non-negative"},
 		{flagValues{chips: 4, kill: 4}, "-kill"},
 		{flagValues{chips: 4, kill: 9}, "-kill"},
+		{flagValues{socket: "/no/such/parent/cashd.sock", daemonCmd: true, drainTimeout: time.Second}, "-socket"},
+		{flagValues{daemonCmd: true}, "-drain-timeout"},
+		{flagValues{daemonCmd: true, drainTimeout: -time.Second}, "-drain-timeout"},
+		{flagValues{chaos: true, chaosSeeds: 1, daemonSeeds: 2}, "-drain-timeout"},
+		{flagValues{daemonSeeds: -1, drainTimeout: time.Second}, "-daemon-seeds"},
+		{flagValues{daemonKills: -2, drainTimeout: time.Second}, "-daemon-kills"},
+		{flagValues{chaos: true, chaosSeeds: 1, daemonSeeds: 1, kill: 2, drainTimeout: time.Second}, "-daemon-kills"},
 	}
 	for _, c := range cases {
 		err := validateFlags(c.v)
@@ -53,5 +66,16 @@ func TestValidateFlagsChaosSeedsIgnoredOutsideChaos(t *testing.T) {
 	// reads it, so a bad value there must not block the run.
 	if err := validateFlags(flagValues{chaosSeeds: 0}); err != nil {
 		t.Fatalf("chaos-seeds validated outside -chaos: %v", err)
+	}
+}
+
+func TestValidateFlagsDaemonRulesIgnoredOutsideDaemonModes(t *testing.T) {
+	// A plain artifact run never waits on -drain-timeout and never
+	// reads -kill as a daemon knob, so neither may block it.
+	if err := validateFlags(flagValues{drainTimeout: 0}); err != nil {
+		t.Fatalf("drain-timeout validated outside daemon modes: %v", err)
+	}
+	if err := validateFlags(flagValues{chips: 4, kill: 2, daemonSeeds: 2, drainTimeout: time.Second}); err != nil {
+		t.Fatalf("-kill flagged as a daemon knob outside -chaos: %v", err)
 	}
 }

@@ -1,0 +1,87 @@
+package daemon
+
+import (
+	"net"
+	"sync"
+
+	"cash/internal/fault"
+	"cash/internal/supervise"
+)
+
+// faultConn wraps an accepted connection and subjects every outbound
+// frame to a seeded fault decision: pass, drop (the client times out
+// and retries), delay, duplicate (the client's ID matching discards the
+// copy), truncate-and-sever (the client's framing detects the tear), or
+// reorder past the next frame. The server writes exactly one frame per
+// Write call, so "per Write" is "per frame". Decisions come from a
+// fault.WireFaults forked per connection, so each connection replays
+// its fault sequence deterministically from the spec seed regardless of
+// how connections interleave.
+type faultConn struct {
+	net.Conn
+	fw    *fault.WireFaults
+	clock supervise.Clock
+
+	mu   sync.Mutex // guards held against a Close racing the writer
+	held []byte     // a reordered frame awaiting the next write
+}
+
+// newFaultConn wraps conn; a nil faults generator returns conn as is.
+func newFaultConn(conn net.Conn, fw *fault.WireFaults, clock supervise.Clock) net.Conn {
+	if fw == nil {
+		return conn
+	}
+	return &faultConn{Conn: conn, fw: fw, clock: clock}
+}
+
+func (c *faultConn) takeHeld() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.held
+	c.held = nil
+	return h
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	// A frame held back by an earlier reorder goes out after this one,
+	// whatever this one's fate — the reordering is one swap, not a
+	// shuffle.
+	prior := c.takeHeld()
+	defer func() {
+		if prior != nil {
+			c.Conn.Write(prior)
+		}
+	}()
+	switch c.fw.Next() {
+	case fault.WireDrop:
+		// Lie about success; the frame evaporates.
+		return len(b), nil
+	case fault.WireDelay:
+		c.clock.Sleep(c.fw.Delay())
+		return c.Conn.Write(b)
+	case fault.WireDup:
+		if n, err := c.Conn.Write(b); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(b)
+	case fault.WireTruncate:
+		c.Conn.Write(b[:len(b)/2])
+		c.Conn.Close()
+		return len(b), nil
+	case fault.WireReorder:
+		c.mu.Lock()
+		c.held = append([]byte(nil), b...)
+		c.mu.Unlock()
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// Close flushes a held frame so a reorder at stream end is a delay, not
+// a loss, then closes the underlying connection.
+func (c *faultConn) Close() error {
+	if h := c.takeHeld(); h != nil {
+		c.Conn.Write(h)
+	}
+	return c.Conn.Close()
+}

@@ -1,0 +1,313 @@
+// Package soak is the cashd chaos soak: it drives a fault-injected
+// daemon through repeated kill -9 + restart cycles with the retrying
+// client and audits the wreckage — every cell executed exactly once,
+// every nanodollar reconciled, and a clean replay of the same seed
+// reaching the identical state digest.
+package soak
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"cash/internal/cost"
+	"cash/internal/daemon"
+	"cash/internal/daemon/client"
+	"cash/internal/fault"
+	"cash/internal/fleet"
+)
+
+// Options configure the daemon chaos soak: for each seed, a daemon
+// with a fault-injected wire is started, tenants are submitted through
+// the retrying client, the daemon is killed and restarted on the same
+// journal Kills times mid-execution, and the survivors are audited.
+type Options struct {
+	// Seeds is the number of seeded scenarios (default 3).
+	Seeds int
+	// Tenants and CellsPerTenant size each scenario (defaults 6, 4).
+	Tenants, CellsPerTenant int
+	// Kills is the number of kill + restart cycles per scenario
+	// (default 2).
+	Kills int
+	// Dir holds sockets and journals (required; a test TempDir).
+	Dir string
+	// Epoch overrides the daemon tick interval (default 2ms — fast
+	// enough to finish, slow enough that kills land mid-execution).
+	Epoch time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds == 0 {
+		o.Seeds = 3
+	}
+	if o.Tenants == 0 {
+		o.Tenants = 6
+	}
+	if o.CellsPerTenant == 0 {
+		o.CellsPerTenant = 4
+	}
+	if o.Kills == 0 {
+		o.Kills = 2
+	}
+	if o.Epoch == 0 {
+		o.Epoch = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Report aggregates a soak run.
+type Report struct {
+	Seeds         int
+	Kills         int
+	CellsLanded   int
+	ConsumedNanos int64
+	// Digests holds each scenario's final state digest; the replay
+	// check already proved each matches its clean re-run.
+	Digests []string
+}
+
+// Run executes the daemon chaos soak and fails on the first violation
+// of exactly-once execution, spend reconciliation or replay
+// determinism.
+func Run(opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return Report{}, fmt.Errorf("soak: needs a scratch directory")
+	}
+	if opts.Seeds < 0 || opts.Kills < 0 || opts.Tenants <= 0 || opts.CellsPerTenant <= 0 {
+		return Report{}, fmt.Errorf("soak: invalid shape %+v", opts)
+	}
+	report := Report{Seeds: opts.Seeds}
+	for s := 0; s < opts.Seeds; s++ {
+		seed := uint64(1000 + 17*s)
+		digest, landed, consumed, kills, err := runScenario(opts, s, seed, true)
+		if err != nil {
+			return report, fmt.Errorf("seed %d (chaos): %w", seed, err)
+		}
+		report.Kills += kills
+		report.CellsLanded += landed
+		report.ConsumedNanos += consumed
+
+		// Replay: the same tenants on a fresh journal with a clean wire
+		// and no kills. The digest is a pure function of what was
+		// submitted, so however violently the chaos run got there, the
+		// two must agree bit for bit.
+		replay, _, replayConsumed, _, err := runScenario(opts, s, seed, false)
+		if err != nil {
+			return report, fmt.Errorf("seed %d (replay): %w", seed, err)
+		}
+		if replay != digest {
+			return report, fmt.Errorf("seed %d: chaos digest %s != replay digest %s", seed, digest, replay)
+		}
+		if replayConsumed != consumed {
+			return report, fmt.Errorf("seed %d: chaos consumed %d != replay consumed %d", seed, consumed, replayConsumed)
+		}
+		report.Digests = append(report.Digests, digest)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "daemon-soak: seed %d ok: %d cells, %d nanos, %d kills, digest %s\n",
+				seed, landed, consumed, kills, digest)
+		}
+	}
+	return report, nil
+}
+
+func dial(socket string, seed uint64) (*client.Client, error) {
+	return client.Dial(client.Options{
+		Socket:      socket,
+		Seed:        seed,
+		Timeout:     2 * time.Second,
+		MaxAttempts: 12,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	})
+}
+
+// runScenario runs one seeded scenario to completion and returns the
+// final digest, cells landed, nanodollars consumed and kills executed.
+// With chaos true the wire injects faults and the daemon is killed and
+// restarted opts.Kills times; with chaos false the run is clean (the
+// replay baseline).
+func runScenario(opts Options, idx int, seed uint64, chaos bool) (digest string, landed int, consumed int64, kills int, err error) {
+	suffix := "replay"
+	if chaos {
+		suffix = "chaos"
+	}
+	socket := filepath.Join(opts.Dir, fmt.Sprintf("cashd-%d-%s.sock", idx, suffix))
+	journal := filepath.Join(opts.Dir, fmt.Sprintf("cashd-%d-%s.jsonl", idx, suffix))
+	dopts := daemon.Options{
+		Socket:       socket,
+		Journal:      journal,
+		Epoch:        opts.Epoch,
+		QueueCap:     16,
+		DrainTimeout: 30 * time.Second,
+		Log:          opts.Log,
+	}
+	if chaos {
+		dopts.WireFaults = fault.DefaultWireSpec(seed)
+	}
+	srv, err := daemon.Start(dopts)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	defer func() { srv.Kill() }() // no-op after a clean drain
+
+	cl, err := dial(socket, seed)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	defer cl.Close()
+
+	// Submit every tenant through the retrying client; the idempotency
+	// key makes retries (and wire-fault duplicates) exactly-once.
+	specs := make([]daemon.TenantSpec, opts.Tenants)
+	var want fleet.Nanos
+	for t := 0; t < opts.Tenants; t++ {
+		specs[t] = daemon.TenantSpec{
+			Name:  fmt.Sprintf("tenant-%d", t),
+			Cells: opts.CellsPerTenant,
+			Seed:  seed + uint64(t)*101,
+		}
+		want += daemon.ExpectedSpend(specs[t], cost.Model{})
+		idem := fmt.Sprintf("seed-%d-tenant-%d", seed, t)
+		if _, err := cl.Submit(idem, specs[t]); err != nil {
+			return "", 0, 0, 0, fmt.Errorf("submit %s: %w", specs[t].Name, err)
+		}
+		// Duplicate submit under the same key must ack as a replay, not
+		// double-admit.
+		ack, err := cl.Submit(idem, specs[t])
+		if err != nil {
+			return "", 0, 0, 0, fmt.Errorf("duplicate submit %s: %w", specs[t].Name, err)
+		}
+		if !ack.Resubmitted {
+			return "", 0, 0, 0, fmt.Errorf("duplicate submit %s not marked resubmitted", specs[t].Name)
+		}
+	}
+
+	// A watcher streams epochs in the background, reconnecting across
+	// kills and fault-severed connections — proving the stream never
+	// wedges a client. It stops on the drain's Final event or when the
+	// scenario signals it to.
+	stop := make(chan struct{})
+	watchDone := make(chan int, 1)
+	go func() {
+		events := 0
+		defer func() { watchDone <- events }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			wcl, werr := dial(socket, seed^0xabcd)
+			if werr != nil {
+				return
+			}
+			werr = wcl.Watch(2*time.Second, func(ev daemon.Epoch) bool {
+				events++
+				return !ev.Final
+			})
+			wcl.Close()
+			if werr == nil {
+				return // Final seen or handler stopped
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer close(stop)
+
+	totalCells := opts.Tenants * opts.CellsPerTenant
+	if chaos {
+		for k := 0; k < opts.Kills; k++ {
+			// Let some cells land, then kill mid-execution.
+			if _, err := waitProgress(cl, (k+1)*totalCells/(opts.Kills+2)); err != nil {
+				return "", 0, 0, kills, fmt.Errorf("pre-kill %d: %w", k+1, err)
+			}
+			srv.Kill()
+			kills++
+			srv, err = daemon.Start(dopts)
+			if err != nil {
+				return "", 0, 0, kills, fmt.Errorf("restart %d: %w", k+1, err)
+			}
+			// Resubmitting after a crash must still dedup: the journal,
+			// not process memory, is the source of truth.
+			idem := fmt.Sprintf("seed-%d-tenant-%d", seed, 0)
+			ack, aerr := cl.Submit(idem, specs[0])
+			if aerr != nil {
+				return "", 0, 0, kills, fmt.Errorf("post-restart resubmit: %w", aerr)
+			}
+			if !ack.Resubmitted {
+				return "", 0, 0, kills, fmt.Errorf("restart %d lost submit %s", k+1, idem)
+			}
+		}
+	}
+
+	// Wait for every cell to land, then audit.
+	health, err := waitProgress(cl, totalCells)
+	if err != nil {
+		return "", 0, 0, kills, err
+	}
+	if health.CellsLanded != totalCells || health.CellsTotal != totalCells {
+		return "", 0, 0, kills, fmt.Errorf("landed %d/%d of %d cells",
+			health.CellsLanded, health.CellsTotal, totalCells)
+	}
+	if health.Tenants != opts.Tenants {
+		return "", 0, 0, kills, fmt.Errorf("admitted %d tenants, want %d (duplicate admission?)",
+			health.Tenants, opts.Tenants)
+	}
+
+	// Spend reconciliation to the nanodollar: each tenant consumed
+	// exactly its computed price, nothing outstanding, books balanced.
+	spend, err := cl.Spend()
+	if err != nil {
+		return "", 0, 0, kills, err
+	}
+	var total fleet.Nanos
+	for i, ts := range spend.Tenants {
+		exp := daemon.ExpectedSpend(specs[i], cost.Model{})
+		if fleet.Nanos(ts.Consumed) != exp {
+			return "", 0, 0, kills, fmt.Errorf("tenant %s consumed %d nanos, want %d", ts.Name, ts.Consumed, exp)
+		}
+		if ts.Outstanding != 0 {
+			return "", 0, 0, kills, fmt.Errorf("tenant %s has %d nanos outstanding after completion", ts.Name, ts.Outstanding)
+		}
+		if ts.Granted != ts.Consumed+ts.Refunded {
+			return "", 0, 0, kills, fmt.Errorf("tenant %s books unbalanced: granted %d != consumed %d + refunded %d",
+				ts.Name, ts.Granted, ts.Consumed, ts.Refunded)
+		}
+		total += fleet.Nanos(ts.Consumed)
+	}
+	if total != want || fleet.Nanos(spend.RootConsumed) != want {
+		return "", 0, 0, kills, fmt.Errorf("root consumed %d nanos, want %d", spend.RootConsumed, want)
+	}
+
+	// Graceful drain: the daemon settles, compacts and exits clean.
+	if err := cl.Drain(); err != nil {
+		return "", 0, 0, kills, fmt.Errorf("drain: %w", err)
+	}
+	if err := srv.Wait(); err != nil {
+		return "", 0, 0, kills, fmt.Errorf("daemon exited dirty: %w", err)
+	}
+	return health.Digest, health.CellsLanded, health.ConsumedNanos, kills, nil
+}
+
+// waitProgress polls health until at least target cells landed,
+// tolerating transient failures while a kill/restart is in flight.
+func waitProgress(cl *client.Client, target int) (daemon.HealthResult, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h, err := cl.Health()
+		if err == nil && h.CellsLanded >= target {
+			return h, nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return daemon.HealthResult{}, fmt.Errorf("health poll: %w", err)
+			}
+			return h, fmt.Errorf("stalled at %d/%d cells landed", h.CellsLanded, target)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

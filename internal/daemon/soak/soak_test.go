@@ -1,0 +1,52 @@
+package soak
+
+import (
+	"testing"
+)
+
+// TestChaosSoak is the acceptance test for cashd's crash-safety story:
+// seeded wire faults on every connection, two kill + restart cycles
+// per scenario, and a clean replay that must reach the identical
+// digest. Kept small enough for every CI run; the cashsim -chaos
+// daemon scenario runs the full default shape.
+func TestChaosSoak(t *testing.T) {
+	opts := Options{
+		Seeds:          2,
+		Tenants:        4,
+		CellsPerTenant: 3,
+		Kills:          2,
+		Dir:            t.TempDir(),
+	}
+	if testing.Short() {
+		opts.Seeds = 1
+		opts.Kills = 1
+	}
+	report, err := Run(opts)
+	if err != nil {
+		t.Fatalf("chaos soak: %v", err)
+	}
+	if report.Kills != opts.Seeds*opts.Kills {
+		t.Fatalf("executed %d kills, want %d", report.Kills, opts.Seeds*opts.Kills)
+	}
+	wantCells := opts.Seeds * opts.Tenants * opts.CellsPerTenant
+	if report.CellsLanded != wantCells {
+		t.Fatalf("landed %d cells, want %d", report.CellsLanded, wantCells)
+	}
+	if len(report.Digests) != opts.Seeds {
+		t.Fatalf("recorded %d digests, want %d", len(report.Digests), opts.Seeds)
+	}
+	for i, d := range report.Digests {
+		if len(d) != 16 {
+			t.Fatalf("digest %d malformed: %q", i, d)
+		}
+	}
+}
+
+func TestSoakRejectsBadShape(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("soak ran without a scratch directory")
+	}
+	if _, err := Run(Options{Dir: t.TempDir(), Tenants: -1}); err == nil {
+		t.Fatal("soak accepted a negative tenant count")
+	}
+}

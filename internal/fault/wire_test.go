@@ -1,0 +1,99 @@
+package fault
+
+import "testing"
+
+func TestWireSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec WireSpec
+		ok   bool
+	}{
+		{WireSpec{}, true},
+		{DefaultWireSpec(1), true},
+		{WireSpec{DropRate: 1}, true},
+		{WireSpec{DropRate: -0.1}, false},
+		{WireSpec{DupRate: 1.1}, false},
+		{WireSpec{DropRate: 0.6, DelayRate: 0.6}, false},
+		{WireSpec{Delay: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestWireFaultsDeterministic(t *testing.T) {
+	spec := DefaultWireSpec(7)
+	a, err := NewWireFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewWireFaults(spec)
+	for i := 0; i < 10_000; i++ {
+		if oa, ob := a.Next(), b.Next(); oa != ob {
+			t.Fatalf("frame %d: same seed dealt %v vs %v", i, oa, ob)
+		}
+	}
+	if a.Counts != b.Counts {
+		t.Fatalf("count divergence: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+func TestWireFaultsDealsEveryOp(t *testing.T) {
+	f, err := NewWireFaults(DefaultWireSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		f.Next()
+	}
+	for op := WirePass; op <= WireReorder; op++ {
+		if f.Counts[op] == 0 {
+			t.Errorf("20k frames never dealt %v", op)
+		}
+	}
+	// Rates should land near spec: drop at 5% of 20k = ~1000.
+	if n := f.Counts[WireDrop]; n < 700 || n > 1300 {
+		t.Errorf("drop count %d wildly off the 5%% rate", n)
+	}
+}
+
+func TestWireFaultsForkIndependent(t *testing.T) {
+	parent, err := NewWireFaults(DefaultWireSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := parent.Fork(0), parent.Fork(1)
+	c0again := parent.Fork(0)
+	same, diff := 0, 0
+	for i := 0; i < 1000; i++ {
+		a, b := c0.Next(), c1.Next()
+		if r := c0again.Next(); r != a {
+			t.Fatalf("frame %d: re-forked conn 0 dealt %v vs %v", i, r, a)
+		}
+		if a == b {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("conn 0 and conn 1 dealt identical sequences; forks are correlated")
+	}
+}
+
+func TestCleanWireAlwaysPasses(t *testing.T) {
+	f, err := NewWireFaults(WireSpec{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.spec.Enabled() {
+		t.Fatal("zero spec reports Enabled")
+	}
+	for i := 0; i < 1000; i++ {
+		if op := f.Next(); op != WirePass {
+			t.Fatalf("clean wire dealt %v", op)
+		}
+	}
+}

@@ -299,6 +299,11 @@ func priceTick(m cost.Model, cfg vcore.Config) Nanos {
 	return Nanos(math.Round(m.Charge(cfg, TickCycles) * 1e9))
 }
 
+// PriceTick is the per-tick rental price of a configuration in
+// nanodollars — exported so the cashd daemon bills its cells with
+// exactly the fleet's arithmetic and spend reconciles across the two.
+func PriceTick(m cost.Model, cfg vcore.Config) Nanos { return priceTick(m, cfg) }
+
 // grantFor is the lease grant for a cell: the nominal execution price
 // plus ~12.5% headroom, so a clean landing still exercises a partial
 // refund.

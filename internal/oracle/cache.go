@@ -155,7 +155,13 @@ func (db *DB) SaveCache(path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("oracle: closing cache: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		// Without this remove, every failed save would strand one
+		// uniquely-named temp file in the cache directory forever.
+		os.Remove(tmp)
+		return fmt.Errorf("oracle: replacing cache: %w", err)
+	}
+	return nil
 }
 
 // Entries returns how many (app, configuration) characterisations are

@@ -181,6 +181,33 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveCacheFailureRemovesTempFile(t *testing.T) {
+	dir := t.TempDir()
+	// A directory at the target path makes the final rename fail after
+	// the temp file was fully written — the failure mode that used to
+	// strand one orphan temp file per failed save.
+	path := filepath.Join(dir, "oracle.gob")
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	db := NewDB()
+	db.Characterize(tinyApp(), vcore.Min())
+	if err := db.SaveCache(path); err == nil {
+		t.Fatal("SaveCache onto a directory must fail")
+	}
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if e.Name() != "oracle.gob" {
+			t.Errorf("failed save left %q behind in the cache dir", e.Name())
+		}
+	}
+}
+
 func TestLoadCacheMissingFile(t *testing.T) {
 	db := NewDB()
 	if err := db.LoadCache(filepath.Join(t.TempDir(), "absent.gob")); err != nil {

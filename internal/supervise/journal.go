@@ -102,9 +102,21 @@ func OpenJournal(path, meta string, resume bool) (*Journal, error) {
 	keep := false
 	if resume {
 		var why string
-		keep, why = j.load(meta)
+		var validEnd int64
+		keep, why, validEnd = j.load(meta)
 		if !keep {
 			j.Discarded = why
+		} else {
+			// Cut the torn tail (a record half-written by a killed
+			// process) before appending, or the next record would be
+			// written onto the torn bytes, merge into one unparseable
+			// line, and be lost on the following load.
+			if st, err := f.Stat(); err == nil && st.Size() > validEnd {
+				if err := f.Truncate(validEnd); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("supervise: trimming torn journal tail: %w", err)
+				}
+			}
 		}
 	} else {
 		if st, err := f.Stat(); err == nil && st.Size() > 0 {
@@ -137,56 +149,84 @@ func OpenJournal(path, meta string, resume bool) (*Journal, error) {
 }
 
 // load reads existing records; it reports whether the content is
-// resumable and, if not, why.
-func (j *Journal) load(meta string) (ok bool, why string) {
+// resumable and, if not, why, plus the byte offset just past the last
+// valid record — everything after it is a torn or corrupt tail the
+// caller should truncate before appending.
+func (j *Journal) load(meta string) (ok bool, why string, validEnd int64) {
 	if _, err := j.f.Seek(0, 0); err != nil {
-		return false, "unreadable journal"
+		return false, "unreadable journal", 0
 	}
-	sc := bufio.NewScanner(j.f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	r := bufio.NewReaderSize(j.f, 1<<20)
 	first := true
 	any := false
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
+	var off int64
+	for {
+		line, rerr := r.ReadBytes('\n')
+		off += int64(len(line))
+		// A line without its terminating newline is a torn tail by
+		// definition; never extend validEnd over it.
+		complete := rerr == nil
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			if rerr != nil {
+				break
+			}
 			continue
 		}
 		any = true
+		valid := false
 		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
+		if err := json.Unmarshal(trimmed, &e); err != nil {
 			j.Skipped++
-			continue
-		}
-		sum, err := e.checksum()
-		if err != nil || sum != e.Sum {
+		} else if sum, err := e.checksum(); err != nil || sum != e.Sum {
 			j.Skipped++
-			continue
+		} else {
+			valid = true
 		}
-		if first {
+		if valid && first {
 			first = false
 			if e.Status != StatusMeta {
-				return false, "journal missing meta header"
+				return false, "journal missing meta header", 0
 			}
 			if e.Meta != meta {
-				return false, fmt.Sprintf("journal is for a different run (%s)", e.Meta)
+				return false, fmt.Sprintf("journal is for a different run (%s)", e.Meta), 0
+			}
+			if complete {
+				validEnd = off
+			}
+			if rerr != nil {
+				break
 			}
 			continue
 		}
-		switch e.Status {
-		case StatusAttempt:
-			j.Attempts++
-		case StatusOK, StatusFailed:
-			j.final[e.Key] = e
+		if valid && complete {
+			validEnd = off
+			switch e.Status {
+			case StatusAttempt:
+				j.Attempts++
+			case StatusOK, StatusFailed:
+				j.final[e.Key] = e
+			}
+		} else if valid {
+			// A checksummed record missing its trailing newline was cut
+			// off mid-write: the sync that would have acknowledged it
+			// never completed, so dropping it with the rest of the torn
+			// tail is safe — and appending after it would otherwise
+			// corrupt the next record.
+			j.Skipped++
+		}
+		if rerr != nil {
+			break
 		}
 	}
 	if !any {
-		return false, ""
+		return false, "", 0
 	}
 	if first {
 		// Content existed but no line survived the checksum.
-		return false, "journal entirely corrupt"
+		return false, "journal entirely corrupt", 0
 	}
-	return true, ""
+	return true, "", validEnd
 }
 
 // Lookup returns the final record for a key, if any.
@@ -195,6 +235,20 @@ func (j *Journal) Lookup(key string) (Entry, bool) {
 	defer j.mu.Unlock()
 	e, ok := j.final[key]
 	return e, ok
+}
+
+// Finals returns a copy of every final (ok or failed) record, sorted
+// by key. The cashd daemon rebuilds its admitted-tenant and
+// completed-cell state from this on crash-resume.
+func (j *Journal) Finals() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Entry, 0, len(j.final))
+	for _, e := range j.final {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Completed returns how many keys have a final ok record.
