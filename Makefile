@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race check bench lint fuzz-smoke chaos daemon-smoke
+.PHONY: build test vet race check bench lint fuzz-smoke chaos daemon-smoke calib
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,24 @@ DAEMON_SMOKE_DIR ?=
 
 daemon-smoke:
 	./scripts/daemon-smoke.sh $(DAEMON_SMOKE_DIR)
+
+# calib runs the fast-tier calibration gate the way CI does: record the
+# golden cycle-level characterisation of the calibration corpus, then
+# replay both fast tiers (interval + sampled) over all 64 configurations
+# and assert every (app, config, phase) cell within the 2% IPC
+# tolerance. The per-cell delta table lands in calib-report.txt on
+# failure — that file is the artifact CI uploads. CALIB_GOLDEN persists
+# the goldens so repeated local gates skip the cycle-level re-record
+# (delete the file to force one). The same contract runs as
+# TestCalibrationGate under `make check`; this target is the standalone
+# entry point with the report artifact.
+CALIB_GOLDEN ?= /tmp/cash-calib-golden.gob
+
+calib: build
+	@if [ ! -f $(CALIB_GOLDEN) ]; then \
+		$(GO) run ./cmd/cashsim -calib-record $(CALIB_GOLDEN); \
+	fi
+	$(GO) run ./cmd/cashsim -calib $(CALIB_GOLDEN) -out calib-report.txt
 
 # bench runs the throughput-critical benchmarks and refreshes
 # BENCH.json (headline: best Minstr/s from

@@ -44,7 +44,10 @@ import (
 	"cash/internal/fleet"
 	"cash/internal/guard"
 	"cash/internal/guard/chaos"
+	"cash/internal/isim"
+	"cash/internal/isim/calib"
 	"cash/internal/oracle"
+	"cash/internal/par"
 	"cash/internal/slice"
 	"cash/internal/ssim"
 	"cash/internal/supervise"
@@ -365,11 +368,72 @@ type ReproduceOptions struct {
 	// retry notices) that are kept out of the report for
 	// byte-reproducibility. nil discards them.
 	Log io.Writer
+
+	// Tier selects the simulation fidelity of oracle characterisation
+	// sweeps: "cycle" (the default — the authoritative tier every paper
+	// figure is produced on), "interval" or "sampled". Fast tiers trade
+	// the calibration-gated IPC tolerance for an order of magnitude of
+	// sweep throughput; the on-disk characterisation cache keys encode
+	// the tier, so runs at different tiers never poison each other.
+	Tier string
+	// SampleWindow and SampleStride are the sampled tier's detailed
+	// window length and window-start spacing in instructions (0 = the
+	// isim defaults). Ignored by the other tiers.
+	SampleWindow, SampleStride int64
 }
 
 // DefaultJournalPath returns the conventional location of the result
 // journal ($CASH_JOURNAL, else the user cache directory).
 func DefaultJournalPath() string { return supervise.DefaultJournalPath() }
+
+// ValidateTier checks a -tier flag value ("cycle", "interval",
+// "sampled") without building anything.
+func ValidateTier(s string) error {
+	_, err := isim.ParseTier(s)
+	return err
+}
+
+// Default sampled-tier geometry (instructions), re-exported for flag
+// defaults.
+const (
+	DefaultSampleWindow = isim.DefaultSampleWindow
+	DefaultSampleStride = isim.DefaultSampleStride
+)
+
+// RecordCalibGolden runs the golden cycle-level characterisation of the
+// calibration corpus over the full configuration space and writes it to
+// path, for later RunCalibGate calls. sweepPar bounds the sweep's
+// worker budget (0 = the shared process-wide pool).
+func RecordCalibGolden(path string, sweepPar int) error {
+	return calib.RecordGolden(calibPool(sweepPar)).Save(path)
+}
+
+// RunCalibGate replays the calibration corpus on every fast tier
+// against the goldens recorded at goldenPath and enforces the
+// CalibTolerance contract, writing a summary (and, on failure, the full
+// per-cell delta table) to w. It returns the gate error when any
+// (app, config, phase) cell is out of tolerance.
+func RunCalibGate(w io.Writer, goldenPath string, sweepPar int) error {
+	g, err := calib.LoadGolden(goldenPath)
+	if err != nil {
+		return err
+	}
+	rep := g.Compare(calibPool(sweepPar))
+	if err := rep.Gate(isim.CalibTolerance); err != nil {
+		fmt.Fprint(w, rep.Table(isim.CalibTolerance))
+		return err
+	}
+	fmt.Fprintf(w, "calib: %d cells within %.1f%% of the golden cycle-level IPC\n",
+		len(rep.Cells), 100*isim.CalibTolerance)
+	return nil
+}
+
+func calibPool(sweepPar int) *par.Pool {
+	if sweepPar == 0 {
+		return nil // the shared process-wide pool
+	}
+	return par.New(sweepPar)
+}
 
 // Reproduce regenerates a named artifact of the paper's evaluation
 // ("fig1", "fig2", "table1", "table2", "overhead", "fig7", "table3",
@@ -389,6 +453,15 @@ func ReproduceWith(w io.Writer, artifact string, o ReproduceOptions) error {
 		return fmt.Errorf("cash: fault rate %v must be a non-negative finite rate", o.FaultRate)
 	}
 	h := figs.New(w)
+	if o.Tier != "" {
+		tier, err := isim.ParseTier(o.Tier)
+		if err != nil {
+			return fmt.Errorf("cash: %w", err)
+		}
+		h.DB.Tier = tier
+		h.DB.SampleWindow = o.SampleWindow
+		h.DB.SampleStride = o.SampleStride
+	}
 	if o.Scale > 0 {
 		h.Scale = o.Scale
 	}

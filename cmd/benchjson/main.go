@@ -66,16 +66,31 @@ type headline struct {
 	SpeedupVsSeed  float64 `json:"speedup_vs_seed,omitempty"`
 }
 
+// fastTier is one fast simulation tier's oracle-sweep throughput claim,
+// recorded next to the cycle-level headline with the speedup computed
+// against it (both numbers come from the same run on the same machine,
+// so the ratio survives host changes that the absolute numbers do not).
+type fastTier struct {
+	Benchmark      string  `json:"benchmark"`
+	MinstrPerS     float64 `json:"minstr_per_s"`
+	SpeedupVsCycle float64 `json:"speedup_vs_cycle,omitempty"`
+}
+
+// fastTierBenchmarks are the sweep benchmarks summarised into the
+// fast_tiers section when present.
+var fastTierBenchmarks = []string{"BenchmarkIntervalSweep", "BenchmarkSampledSweep"}
+
 // report is the BENCH.json document.
 type report struct {
-	Schema     string   `json:"schema"`
-	Command    string   `json:"command"`
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Package    string   `json:"pkg,omitempty"`
-	Headline   headline `json:"headline"`
-	Benchmarks []bench  `json:"benchmarks"`
+	Schema     string     `json:"schema"`
+	Command    string     `json:"command"`
+	Goos       string     `json:"goos,omitempty"`
+	Goarch     string     `json:"goarch,omitempty"`
+	CPU        string     `json:"cpu,omitempty"`
+	Package    string     `json:"pkg,omitempty"`
+	Headline   headline   `json:"headline"`
+	FastTiers  []fastTier `json:"fast_tiers,omitempty"`
+	Benchmarks []bench    `json:"benchmarks"`
 }
 
 const headlineMetric = "Minstr/s"
@@ -156,6 +171,25 @@ func build(r io.Reader, head string, baseline float64) (report, error) {
 	if baseline > 0 {
 		rep.Headline.SeedMinstrPerS = baseline
 		rep.Headline.SpeedupVsSeed = round3(rep.Headline.MinstrPerS / baseline)
+	}
+	for _, name := range fastTierBenchmarks {
+		var best float64
+		for _, r := range runs {
+			if base(r.Name) != name {
+				continue
+			}
+			if v, ok := r.Metrics[headlineMetric]; ok && v > best {
+				best = v
+			}
+		}
+		if best == 0 {
+			continue // tier benchmark absent from this run
+		}
+		rep.FastTiers = append(rep.FastTiers, fastTier{
+			Benchmark:      name,
+			MinstrPerS:     round3(best),
+			SpeedupVsCycle: round3(best / rep.Headline.MinstrPerS),
+		})
 	}
 	return rep, nil
 }

@@ -60,6 +60,47 @@ func TestBuildHeadlineBestOf(t *testing.T) {
 	}
 }
 
+const fastTierSample = sample + `BenchmarkIntervalSweep-8   	       2	5100000000 ns/op	        84.000 Minstr/s
+BenchmarkIntervalSweep-8   	       2	5000000000 ns/op	        86.100 Minstr/s
+BenchmarkSampledSweep-8    	       1	15000000000 ns/op	        25.200 Minstr/s
+`
+
+// The fast-tier sweep benchmarks fold into the fast_tiers section:
+// best-of Minstr/s per tier, with the speedup against the cycle-level
+// headline from the same run.
+func TestBuildFastTiers(t *testing.T) {
+	rep, err := build(strings.NewReader(fastTierSample), "BenchmarkAblation_SimThroughput", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FastTiers) != 2 {
+		t.Fatalf("got %d fast_tiers entries, want 2: %+v", len(rep.FastTiers), rep.FastTiers)
+	}
+	iv := rep.FastTiers[0]
+	if iv.Benchmark != "BenchmarkIntervalSweep" || iv.MinstrPerS != 86.1 {
+		t.Fatalf("interval entry = %+v, want best-of 86.1", iv)
+	}
+	// 86.1 / 8.4 (the headline's best-of) = 10.25.
+	if iv.SpeedupVsCycle != 10.25 {
+		t.Fatalf("interval speedup = %v, want 10.25", iv.SpeedupVsCycle)
+	}
+	if sm := rep.FastTiers[1]; sm.Benchmark != "BenchmarkSampledSweep" || sm.MinstrPerS != 25.2 {
+		t.Fatalf("sampled entry = %+v, want 25.2", sm)
+	}
+}
+
+// Runs without the sweep benchmarks (older branches, partial -bench
+// filters) omit the section instead of carrying zeros.
+func TestBuildFastTiersAbsent(t *testing.T) {
+	rep, err := build(strings.NewReader(sample), "BenchmarkAblation_SimThroughput", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FastTiers != nil {
+		t.Fatalf("fast_tiers = %+v, want omitted when the sweep benchmarks are absent", rep.FastTiers)
+	}
+}
+
 func TestBuildRejectsMissingHeadline(t *testing.T) {
 	if _, err := build(strings.NewReader(sample), "BenchmarkNope", 0); err == nil {
 		t.Fatal("want error for absent headline benchmark")

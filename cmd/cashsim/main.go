@@ -5,10 +5,26 @@
 //
 //	cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n]
 //	        [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n]
+//	        [-tier cycle|interval|sampled] [-sample-window n] [-sample-stride n]
 //	        [-journal file] [-resume] [-v]
 //	        [-stream s] [-queue-cap n] [-shed p] [-tail-target n]
 //	        [-chips n] [-tenants n] [-kill n]
 //	        [-cpuprofile file] [-memprofile file] <artifact>
+//
+// -tier selects the simulation fidelity of the oracle characterisation
+// sweeps: cycle (the default — the authoritative tier every paper
+// figure is produced on), interval (analytic per-phase model) or
+// sampled (detailed windows + functional fast-forward; -sample-window
+// and -sample-stride set its geometry in instructions). Fast tiers are
+// held to the |IPC_fast − IPC_cycle| < 2% calibration contract
+// (internal/isim/calib); the on-disk characterisation cache keys encode
+// the tier, so runs at different tiers never poison each other.
+//
+// -calib-record runs the golden cycle-level characterisation of the
+// calibration corpus and writes it to a file; -calib replays the fast
+// tiers against a recorded golden file and enforces the 2% gate,
+// printing the per-cell delta table on failure. Both run instead of an
+// artifact; giving both in one invocation records then gates.
 //
 // where artifact is one of: fig1 fig2 table1 table2 overhead fig7
 // table3 fig8 fig9 fig10 ablations reliability tail fleet all — or a
@@ -126,18 +142,25 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "daemon subcommands and soak: wait budget (must be positive)")
 	daemonSeeds := flag.Int("daemon-seeds", 2, "chaos: daemon soak seeds (0 skips the daemon soak)")
 	daemonKills := flag.Int("daemon-kills", 2, "chaos: daemon kill -9 + restart cycles per seed")
+	tier := flag.String("tier", "cycle", "oracle sweep simulation tier: cycle, interval or sampled (figures stay authoritative on cycle)")
+	sampleWindow := flag.Int64("sample-window", cash.DefaultSampleWindow, "sampled tier: detailed window length in instructions (must be positive and <= -sample-stride)")
+	sampleStride := flag.Int64("sample-stride", cash.DefaultSampleStride, "sampled tier: window-start spacing in instructions (must be positive)")
+	calibGate := flag.String("calib", "", "run the fast-tier calibration gate against golden runs recorded at this path (instead of an artifact)")
+	calibRecord := flag.String("calib-record", "", "record the golden cycle-level calibration runs to this path (instead of an artifact)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to a file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-sweep-par n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
+		fmt.Fprintf(os.Stderr, "usage: cashsim [-scale f] [-out file] [-fault-rate r] [-fault-seed n] [-jobs n] [-sweep-par n] [-tier cycle|interval|sampled] [-sample-window n] [-sample-stride n] [-cell-timeout d] [-max-retries n] [-journal file] [-resume] [-v] [-cpuprofile file] [-memprofile file] <artifact>\n")
 		fmt.Fprintf(os.Stderr, "       cashsim -chaos [-chaos-seeds n] [-chaos-quanta n] [-chaos-guard=false] [-daemon-seeds n] [-daemon-kills n] [-out file]\n")
+		fmt.Fprintf(os.Stderr, "       cashsim -calib-record golden.gob | -calib golden.gob [-sweep-par n] [-out file]\n")
 		fmt.Fprintf(os.Stderr, "       cashsim [-socket path] [-idem key] [-tenant name] [-cells n] [-drain-timeout d] <daemon-command>\n\n")
 		fmt.Fprintf(os.Stderr, "artifacts: fig1 fig2 table1 table2 overhead fig7 table3 fig8 fig9 fig10 ablations reliability tail fleet all\n")
 		fmt.Fprintf(os.Stderr, "daemon commands (talk to a running cashd): %s\n", daemonArtifacts)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *chaosMode {
+	calibMode := *calibGate != "" || *calibRecord != ""
+	if *chaosMode || calibMode {
 		if flag.NArg() != 0 {
 			flag.Usage()
 			os.Exit(2)
@@ -153,6 +176,8 @@ func main() {
 		socket: *socket, drainTimeout: *drainTimeout,
 		daemonCmd:   !*chaosMode && flag.NArg() == 1 && isDaemonArtifact(flag.Arg(0)),
 		daemonSeeds: *daemonSeeds, daemonKills: *daemonKills,
+		tier: *tier, sampleWindow: *sampleWindow, sampleStride: *sampleStride,
+		calibGate: *calibGate, calibRecord: *calibRecord,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "cashsim: %v\nrun 'cashsim -h' for usage\n", err)
 		os.Exit(2)
@@ -178,6 +203,26 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if calibMode {
+		start := time.Now()
+		if *calibRecord != "" {
+			if err := cash.RecordCalibGolden(*calibRecord, *sweepPar); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "cashsim: calibration goldens recorded to %s in %v\n",
+				*calibRecord, time.Since(start).Round(time.Millisecond))
+		}
+		if *calibGate != "" {
+			if err := cash.RunCalibGate(w, *calibGate, *sweepPar); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "cashsim: calibration gate done in %v\n",
+				time.Since(start).Round(time.Millisecond))
+		}
+		stopProf()
+		return
 	}
 
 	if !*chaosMode && isDaemonArtifact(flag.Arg(0)) {
@@ -259,6 +304,7 @@ func main() {
 		JournalPath: *journal, Resume: *resume, Log: log,
 		Stream: *stream, QueueCap: *queueCap, Shed: *shed, TailTarget: *tailTarget,
 		FleetChips: *chips, FleetTenants: *tenants, FleetKill: *kill,
+		Tier: *tier, SampleWindow: *sampleWindow, SampleStride: *sampleStride,
 	}
 	if err := cash.ReproduceWith(w, flag.Arg(0), opts); err != nil {
 		fail(err)
@@ -285,6 +331,12 @@ type flagValues struct {
 	daemonCmd    bool
 	daemonSeeds  int
 	daemonKills  int
+
+	tier         string
+	sampleWindow int64
+	sampleStride int64
+	calibGate    string
+	calibRecord  string
 }
 
 // validateFlags rejects flag combinations that would otherwise fail
@@ -324,6 +376,26 @@ func validateFlags(v flagValues) error {
 	}
 	if v.chaos && v.daemonSeeds > 0 && v.kill > 0 {
 		return fmt.Errorf("-kill sizes the fleet study's crash scenario, not the daemon soak; use -daemon-kills for kill+restart cycles during -chaos")
+	}
+	if v.tier != "" {
+		if err := cash.ValidateTier(v.tier); err != nil {
+			return err
+		}
+	}
+	if v.tier == "sampled" {
+		// The sampled tier is the only reader of the window geometry; a
+		// bad value elsewhere must not block a run that never uses it.
+		if v.sampleWindow <= 0 || v.sampleStride <= 0 {
+			return fmt.Errorf("-sample-window/-sample-stride must be positive instruction counts, got %d/%d", v.sampleWindow, v.sampleStride)
+		}
+		if v.sampleWindow > v.sampleStride {
+			return fmt.Errorf("-sample-window %d exceeds -sample-stride %d: windows would overlap; the stride is the spacing between window starts", v.sampleWindow, v.sampleStride)
+		}
+	}
+	if v.calibGate != "" && v.calibRecord == "" {
+		if _, err := os.Stat(v.calibGate); err != nil {
+			return fmt.Errorf("-calib %s: golden runs not present (%v); record them first with -calib-record %s", v.calibGate, err, v.calibGate)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -8,9 +9,20 @@ import (
 )
 
 func TestValidateFlagsAccepts(t *testing.T) {
+	goldenPath := filepath.Join(t.TempDir(), "golden.gob")
+	if err := writeFile(goldenPath); err != nil {
+		t.Fatal(err)
+	}
 	cases := []flagValues{
 		{}, // all defaults
 		{queueCap: 128, stream: "bursts", shed: "deadline"},
+		{tier: "cycle"},
+		{tier: "interval"},
+		{tier: "sampled", sampleWindow: 50_000, sampleStride: 1_000_000},
+		{tier: "sampled", sampleWindow: 1_000_000, sampleStride: 1_000_000}, // window == stride: back-to-back windows
+		{calibGate: goldenPath}, // goldens present
+		{calibGate: "/no/such/golden.gob", calibRecord: "/no/such/golden.gob"}, // record-then-gate creates them
+		{calibRecord: filepath.Join(t.TempDir(), "new.gob")},
 		{chaos: true, chaosSeeds: 20, fleetSeeds: 5},
 		{chaos: true, chaosSeeds: 1, fleetSeeds: 0}, // fleet soak skipped
 		{chips: 8, tenants: 12, kill: 3},
@@ -48,6 +60,14 @@ func TestValidateFlagsRejects(t *testing.T) {
 		{flagValues{daemonSeeds: -1, drainTimeout: time.Second}, "-daemon-seeds"},
 		{flagValues{daemonKills: -2, drainTimeout: time.Second}, "-daemon-kills"},
 		{flagValues{chaos: true, chaosSeeds: 1, daemonSeeds: 1, kill: 2, drainTimeout: time.Second}, "-daemon-kills"},
+		{flagValues{tier: "fast"}, "tier"},
+		{flagValues{tier: "Cycle"}, "tier"}, // names are case-sensitive
+		{flagValues{tier: "sampled"}, "-sample-window"},
+		{flagValues{tier: "sampled", sampleWindow: -1, sampleStride: 1_000_000}, "-sample-window"},
+		{flagValues{tier: "sampled", sampleWindow: 50_000, sampleStride: 0}, "-sample-window"},
+		{flagValues{tier: "sampled", sampleWindow: 50_000, sampleStride: -7}, "-sample-window"},
+		{flagValues{tier: "sampled", sampleWindow: 2_000_000, sampleStride: 1_000_000}, "-sample-window 2000000 exceeds"},
+		{flagValues{calibGate: "/no/such/golden.gob"}, "record them first"},
 	}
 	for _, c := range cases {
 		err := validateFlags(c.v)
@@ -59,6 +79,26 @@ func TestValidateFlagsRejects(t *testing.T) {
 			t.Errorf("validateFlags(%+v) = %q, want mention of %q", c.v, err, c.want)
 		}
 	}
+}
+
+func TestValidateFlagsSamplingRulesIgnoredOutsideSampledTier(t *testing.T) {
+	// Only the sampled tier reads the window geometry; a bad value must
+	// not block a cycle- or interval-tier run that never uses it.
+	for _, tier := range []string{"", "cycle", "interval"} {
+		if err := validateFlags(flagValues{tier: tier, sampleWindow: -1}); err != nil {
+			t.Errorf("sample-window validated at tier %q: %v", tier, err)
+		}
+	}
+}
+
+// writeFile creates an empty placeholder at path (the -calib presence
+// check only stats the file; decoding happens later in the run).
+func writeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func TestValidateFlagsChaosSeedsIgnoredOutsideChaos(t *testing.T) {

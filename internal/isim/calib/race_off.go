@@ -1,0 +1,7 @@
+//go:build !race
+
+package calib
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_on.go for why the calibration tests shrink under it.
+const raceEnabled = false

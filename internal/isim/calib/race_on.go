@@ -1,0 +1,12 @@
+//go:build race
+
+package calib
+
+// raceEnabled reports whether the race detector is compiled in. The
+// calibration tests shrink under it: the full 640-cell accuracy gate is
+// pure sequential arithmetic per cell and blows the race-mode test
+// budget on small machines, so it runs non-race (plain `go test`,
+// `make calib`, CI's calib-smoke job) while race mode keeps the
+// concurrency-relevant coverage — the cross-worker determinism sweep —
+// at reduced corpus scale.
+const raceEnabled = true

@@ -1,0 +1,253 @@
+package isim
+
+import (
+	"cash/internal/ssim"
+)
+
+// Interval model stage sizes, in instructions. The pilot runs detailed
+// from whatever cache state the phase entered with, so the model sees
+// the cold-start cost an in-context cycle-level run pays at each phase
+// transition. The probe then runs functionally on the still-cold
+// caches — cache and branch accounting advance, clocks do not —
+// measuring the mid-transition event rates the cold model's guards
+// need. The prefill follows, a short warm burn restores the recency
+// interleaving the prefill cannot reproduce, and the steady window
+// re-measures detailed CPI on the warmed state. The remainder of the
+// phase is charged analytically.
+const (
+	DefaultPilotInstrs  = 40_000
+	DefaultProbeInstrs  = 60_000
+	DefaultBurnInstrs   = 20_000
+	DefaultSteadyInstrs = 40_000
+)
+
+type intervalStage int
+
+const (
+	stPilot intervalStage = iota
+	stProbe
+	stBurn
+	stSteady
+	stModel
+)
+
+// Interval is the analytic fast tier. Per phase it executes
+// pilot + probe + steady (the pilot and steady window detailed, the
+// probe functional) and skips everything else at a modelled CPI: the
+// steady window's measured CPI, floored at the structural dispatch
+// limit 1/(FetchWidth·Slices) (Table I), plus the one-time cold-start
+// charge of coldModel.
+type Interval struct {
+	det *ssim.Sim
+
+	// Stage lengths; the Default* constants unless overridden before
+	// first use.
+	PilotInstrs, ProbeInstrs, BurnInstrs, SteadyInstrs int64
+
+	phase int // phase the current model belongs to; -1 before first use
+	st    intervalStage
+	got   int64 // instructions completed within the current stage
+	cyc   int64 // cycles accumulated within the current stage
+
+	cold    coldModel
+	probeSt ssim.FuncStats // cold-probe event counts
+	funcCyc int64          // cycles charged for the functional spans
+	funcN   int64          // instructions in the functional spans
+	pre     snapshot       // counters at the current stage's entry
+	cpi     float64        // the model, valid in stModel
+	pending float64        // cold charge to lump onto the first modelled step
+}
+
+// NewInterval wraps det in the interval model. The wrapper is cheap;
+// build one per measurement and let the pooled detailed simulator carry
+// the reusable state.
+func NewInterval(det *ssim.Sim) *Interval {
+	return &Interval{
+		det:          det,
+		PilotInstrs:  DefaultPilotInstrs,
+		ProbeInstrs:  DefaultProbeInstrs,
+		BurnInstrs:   DefaultBurnInstrs,
+		SteadyInstrs: DefaultSteadyInstrs,
+		phase:        -1,
+	}
+}
+
+func (iv *Interval) enterPhase(pi int) {
+	iv.phase = pi
+	iv.st = stPilot
+	iv.got, iv.cyc = 0, 0
+	iv.cold = coldModel{}
+	iv.probeSt = ssim.FuncStats{}
+	iv.funcCyc, iv.funcN = 0, 0
+	iv.pending = 0
+	iv.pre = snap(iv.det)
+}
+
+// RunBudget satisfies Sim. Sources without Skip/PhaseIndex degrade to
+// pure detailed execution — the fast tier never changes results behind
+// a caller that cannot opt in to the model.
+func (iv *Interval) RunBudget(src ssim.InstrSource, maxInstrs, maxCycles int64) (instrs, cycles int64) {
+	fsrc, ok := src.(Source)
+	if !ok {
+		return iv.det.RunBudget(src, maxInstrs, maxCycles)
+	}
+	for instrs < maxInstrs && cycles < maxCycles {
+		if pi := fsrc.PhaseIndex(); pi != iv.phase {
+			iv.enterPhase(pi)
+		}
+		n, c := iv.step(fsrc, maxInstrs-instrs, maxCycles-cycles)
+		if n == 0 && c == 0 {
+			break
+		}
+		instrs += n
+		cycles += c
+	}
+	return instrs, cycles
+}
+
+// step advances the per-phase state machine by one bounded stage slice
+// and returns the instructions and cycles it accounts for. (0, 0) means
+// the source is exhausted.
+func (iv *Interval) step(src Source, maxI, maxC int64) (int64, int64) {
+	switch iv.st {
+	case stPilot:
+		want := clamp(iv.PilotInstrs-iv.got, maxI)
+		// Pause at the span's midpoint so the cold model can split the
+		// miss rate into halves (its transition-decay estimate).
+		if half := iv.PilotInstrs / 2; iv.got < half {
+			want = clamp(half-iv.got, want)
+		}
+		n, c := iv.det.RunBudget(src, want, maxC)
+		if n == 0 && c == 0 {
+			return 0, 0
+		}
+		iv.got += n
+		iv.cyc += c
+		if !iv.cold.halfSeen && iv.got >= iv.PilotInstrs/2 {
+			iv.cold.markHalf(iv.det, iv.got, iv.cyc)
+		}
+		if iv.got >= iv.PilotInstrs {
+			iv.cold.entryDone(iv.got, iv.cyc, iv.pre, snap(iv.det))
+			iv.st = stProbe
+			iv.got, iv.cyc = 0, 0
+		}
+		return n, c
+
+	case stProbe:
+		// Cold probe: functional execution on the unprefilled caches,
+		// measuring mid-transition event rates. Functional instructions
+		// still count toward the phase; charge them at the cold rate —
+		// that is roughly what the cycle-level run pays at this point of
+		// the transition, and the cold charge nets out whatever premium
+		// this overpays.
+		want := clamp(iv.ProbeInstrs-iv.got, maxI)
+		if lim := int64(float64(maxC)/iv.cold.cpiCold) + 1; lim < want {
+			want = lim
+		}
+		fst := iv.det.FuncRun(src, want)
+		if fst.Instrs == 0 {
+			return 0, 0
+		}
+		iv.probeSt.Add(fst)
+		iv.got += fst.Instrs
+		c := int64(float64(fst.Instrs)*iv.cold.cpiCold + 0.5)
+		iv.funcCyc += c
+		iv.funcN += fst.Instrs
+		if iv.got >= iv.ProbeInstrs {
+			iv.cold.probeDone(iv.probeSt)
+			iv.cold.warmDone(iv.det, src)
+			iv.st = stBurn
+			iv.got, iv.cyc = 0, 0
+		}
+		return fst.Instrs, c
+
+	case stBurn:
+		// Post-prefill recency burn, charged like the probe.
+		want := clamp(iv.BurnInstrs-iv.got, maxI)
+		if lim := int64(float64(maxC)/iv.cold.cpiCold) + 1; lim < want {
+			want = lim
+		}
+		fst := iv.det.FuncRun(src, want)
+		if fst.Instrs == 0 {
+			return 0, 0
+		}
+		iv.got += fst.Instrs
+		c := int64(float64(fst.Instrs)*iv.cold.cpiCold + 0.5)
+		iv.funcCyc += c
+		iv.funcN += fst.Instrs
+		if iv.got >= iv.BurnInstrs {
+			iv.st = stSteady
+			iv.got, iv.cyc = 0, 0
+			iv.pre = snap(iv.det)
+		}
+		return fst.Instrs, c
+
+	case stSteady:
+		want := clamp(iv.SteadyInstrs-iv.got, maxI)
+		n, c := iv.det.RunBudget(src, want, maxC)
+		if n == 0 && c == 0 {
+			return 0, 0
+		}
+		iv.got += n
+		iv.cyc += c
+		if iv.got >= iv.SteadyInstrs {
+			iv.buildModel(src)
+			iv.st = stModel
+		}
+		return n, c
+
+	default: // stModel
+		want := maxI
+		if float64(maxC) < float64(want)*iv.cpi {
+			want = int64(float64(maxC)/iv.cpi) + 1
+			if want > maxI {
+				want = maxI
+			}
+		}
+		n := src.Skip(want)
+		if n == 0 {
+			// End of stream, or a phase boundary the outer loop will
+			// observe via PhaseIndex on the next iteration.
+			if src.PhaseIndex() != iv.phase {
+				return 0, 1 // keep the outer loop alive across the boundary
+			}
+			return 0, 0
+		}
+		// Apply the (signed) cold charge; a refund larger than this
+		// step's cycles carries over rather than being clamped away.
+		wantC := float64(n)*iv.cpi + iv.pending
+		iv.pending = 0
+		c := int64(wantC + 0.5)
+		if c < 1 {
+			iv.pending = wantC - 1
+			c = 1
+		}
+		return n, c
+	}
+}
+
+// buildModel folds the steady window's measured CPI and the cold-start
+// charge into the phase's analytic model. An earlier variant corrected
+// the steady CPI by (probe − steady) event-rate deltas priced at raw
+// latencies (memory delay, L2 hit delay, squash penalty); raw latencies
+// ignore the overlap the out-of-order window extracts, and the term
+// systematically overcharged (up to −24% IPC on memory-light cells).
+// The measured steady CPI plus the κ-priced cold charge — κ being the
+// *observed* marginal cost per miss — needs no such assumption.
+func (iv *Interval) buildModel(src Source) {
+	post := snap(iv.det)
+	si := float64(iv.got)
+	steadyCPI := float64(iv.cyc) / si
+	cpi := steadyCPI
+	// Structural floor: no model may dispatch faster than the composed
+	// fetch/commit bandwidth (Table I).
+	if floor := 1 / float64(iv.det.BWLimit()); cpi < floor {
+		cpi = floor
+	}
+	iv.cpi = cpi
+	mSteady := float64(post.l2-iv.pre.l2) / si
+	mISteady := float64(post.l1i-iv.pre.l1i) / si
+	sfx := float64(post.fx-iv.pre.fx) / si
+	burnPremium := float64(iv.funcCyc) - float64(iv.funcN)*steadyCPI
+	iv.pending = iv.cold.coldCharge(iv.det, steadyCPI, mSteady, mISteady, sfx, src.PhaseRemaining(), burnPremium)
+}

@@ -1,0 +1,134 @@
+// Package isim is the fast simulation tier: drop-in replacements for
+// the cycle-level simulator's RunBudget that trade per-instruction
+// timing fidelity for one to two orders of magnitude of throughput.
+//
+// Two modes are provided. Interval simulation (TierInterval) measures a
+// short detailed pilot and a functional cache/branch probe at each
+// phase entry, builds an analytic CPI model — the measured base rate
+// corrected by per-miss-event penalties, floored at the Table I
+// structural dispatch limit — and charges the rest of the phase against
+// it without executing instructions. Systematic sampling (TierSampled)
+// keeps executing the stream, but only pays detailed timing inside
+// periodic measurement windows; the spans between windows are
+// fast-forwarded with the stream position intact and charged at the
+// running mean of the measured window CPIs, with a short functional
+// re-warm ahead of each window to keep cache recency honest.
+//
+// Both modes satisfy the Sim interface the oracle consumes, so
+// oracle.Characterize can select a tier per call. Accuracy against the
+// cycle-level tier is a tested contract, not an aspiration: the
+// calibration harness (isim/calib) replays golden cycle-level runs and
+// gates |IPC_fast − IPC_cycle|/IPC_cycle < CalibTolerance per
+// (app, config) cell. Paper figures stay on the cycle-level tier; the
+// fast tiers exist to make bulk characterisation sweeps affordable
+// (ROADMAP items 1, 2, 4).
+package isim
+
+import (
+	"fmt"
+
+	"cash/internal/ssim"
+	"cash/internal/workload"
+)
+
+// Tier selects the simulation fidelity of a characterisation.
+type Tier int
+
+const (
+	// TierCycle is the cycle-level timestamped-dataflow simulator —
+	// the authoritative tier every figure is produced on.
+	TierCycle Tier = iota
+	// TierInterval is the analytic interval model.
+	TierInterval
+	// TierSampled is systematic sampling with detailed windows.
+	TierSampled
+)
+
+// ParseTier maps a flag value to a Tier.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "cycle":
+		return TierCycle, nil
+	case "interval":
+		return TierInterval, nil
+	case "sampled":
+		return TierSampled, nil
+	}
+	return 0, fmt.Errorf("unknown simulation tier %q (want cycle, interval or sampled)", s)
+}
+
+func (t Tier) String() string {
+	switch t {
+	case TierCycle:
+		return "cycle"
+	case TierInterval:
+		return "interval"
+	case TierSampled:
+		return "sampled"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// CalibTolerance is the calibration contract: the maximum relative IPC
+// error a fast tier may show against the cycle-level tier on any golden
+// (app, config) cell. The gate in isim/calib enforces it in make check
+// and CI.
+const CalibTolerance = 0.02
+
+// Sim is the simulator shape the oracle's measurement loop consumes;
+// *ssim.Sim, *Interval and *Sampled all satisfy it.
+type Sim interface {
+	RunBudget(src ssim.InstrSource, maxInstrs, maxCycles int64) (instrs, cycles int64)
+}
+
+// Source is the instruction stream contract the fast tiers need beyond
+// plain generation: skipping spans without drawing them, and exposing
+// the current phase so the per-phase models know when to rebuild.
+// workload.Gen and workload.PhaseGen both satisfy it. A fast tier fed a
+// source without these capabilities degrades to pure detailed
+// execution.
+type Source interface {
+	ssim.InstrSource
+	// Skip advances past up to n instructions without generating them,
+	// returning how many were skipped (0 only at end of stream).
+	Skip(n int64) int64
+	// PhaseIndex identifies the phase the next instruction belongs to.
+	PhaseIndex() int
+	// CurrentRegions is the current phase's address layout, for cache
+	// prefill.
+	CurrentRegions() workload.Regions
+	// PhaseRemaining is the instruction count left in the current phase
+	// (effectively unbounded for infinite phase streams).
+	PhaseRemaining() int64
+}
+
+// Options carries the tunables a tier exposes to the command line.
+type Options struct {
+	// SampleWindow and SampleStride are the sampled tier's detailed
+	// window length and window-start spacing, in instructions.
+	// Zero values select the defaults.
+	SampleWindow, SampleStride int64
+}
+
+// New wraps the detailed simulator in the requested tier. TierCycle
+// returns the simulator itself: the cycle-level tier *is* the detailed
+// simulator, byte-for-byte.
+func New(t Tier, det *ssim.Sim, opt Options) Sim {
+	switch t {
+	case TierInterval:
+		return NewInterval(det)
+	case TierSampled:
+		return NewSampled(det, opt.SampleWindow, opt.SampleStride)
+	default:
+		return det
+	}
+}
+
+// Interface conformance, pinned at compile time.
+var (
+	_ Sim    = (*ssim.Sim)(nil)
+	_ Sim    = (*Interval)(nil)
+	_ Sim    = (*Sampled)(nil)
+	_ Source = (*workload.Gen)(nil)
+	_ Source = (*workload.PhaseGen)(nil)
+)

@@ -1,0 +1,348 @@
+package isim
+
+import (
+	"cash/internal/ssim"
+)
+
+// Sampled tier defaults, in instructions. The head is the detailed span
+// at each phase entry — it pays the phase's cold-start at full fidelity
+// and anchors the cold-start model. Between measurement windows the
+// stream is skipped (the generator's RNG is untouched, so the post-skip
+// stream and the cache contents stay mutually consistent) and a short
+// functional re-warm refreshes cache recency before the next detailed
+// window opens.
+const (
+	DefaultHeadInstrs   = 40_000
+	DefaultRewarmInstrs = 30_000
+	DefaultSampleWindow = 50_000
+	DefaultSampleStride = 1_000_000
+)
+
+type sampledStage int
+
+const (
+	ssHead sampledStage = iota
+	ssProbe
+	ssBurn
+	ssWindow
+	ssGap
+	ssRewarm
+)
+
+// Sampled is the systematic-sampling fast tier: detailed measurement
+// windows of Window instructions every Stride instructions, the spans
+// between charged at the instruction-weighted mean CPI of the windows
+// measured so far in the phase, plus the one-time cold-start charge of
+// coldModel. Unlike the interval model it keeps re-measuring, so slow
+// within-phase drift (a streaming working set walking through a
+// near-capacity L2) is tracked rather than frozen at phase entry.
+//
+// Per phase the stage order is head (detailed, cold) → probe
+// (functional, still cold, measuring mid-transition rates) → prefill →
+// burn (functional, warmed, restoring recency) → window →
+// [gap → re-warm → window]…; the first window closes the cold-start
+// model, so every skipped span is charged at a warmed rate.
+type Sampled struct {
+	det *ssim.Sim
+
+	// Window and Stride are the sampling geometry; Head, Probe, Burn and
+	// Rewarm the phase-entry and pre-window span lengths. The Default*
+	// constants apply unless overridden before first use (Probe and Burn
+	// default to Rewarm's length). Stride is a ceiling: short phases
+	// shrink the effective stride so every phase sees at least
+	// minPeriods sampling periods — with one fixed 1M-instruction
+	// stride, a 1.2M-instruction phase got a single mid-phase window and
+	// drifting phases were charged at whatever rate that one window
+	// happened to catch.
+	Head, Probe, Burn, Rewarm, Window, Stride int64
+
+	stride int64 // effective stride for the current phase
+
+	phase int
+	st    sampledStage
+	got   int64 // instructions completed within the current stage
+	cyc   int64 // cycles accumulated within the current stage
+
+	cold    coldModel
+	probeSt ssim.FuncStats // cold-probe event counts
+	pre     snapshot
+	funcCyc int64 // cycles charged for the probe and burn spans
+	funcN   int64 // instructions in the probe and burn spans
+	pending float64
+
+	winI, winC int64 // window-only instruction/cycle totals this phase
+
+	// In-arrears drift correction: skipped and re-warm spans are charged
+	// at the windows-so-far rate, which lags a drifting phase (the first
+	// window sits nearest the transition; holding its CPI across a long
+	// gap overcharged decaying-CPI phases ~10% IPC). When the next
+	// window closes, the charge is trued up to the trapezoid of the two
+	// bracketing windows' rates.
+	arrearsI   int64   // instructions charged at arrearsCPI since the last window
+	arrearsCPI float64 // the rate those instructions were charged at
+}
+
+// NewSampled wraps det in the sampling tier. window/stride of 0 select
+// the defaults; the geometry must satisfy 0 < window ≤ stride (the
+// command line validates before construction).
+func NewSampled(det *ssim.Sim, window, stride int64) *Sampled {
+	if window <= 0 {
+		window = DefaultSampleWindow
+	}
+	if stride <= 0 {
+		stride = DefaultSampleStride
+	}
+	s := &Sampled{
+		det:    det,
+		Head:   DefaultHeadInstrs,
+		Probe:  DefaultProbeInstrs,
+		Burn:   DefaultRewarmInstrs,
+		Rewarm: DefaultRewarmInstrs,
+		Window: window,
+		Stride: stride,
+		phase:  -1,
+	}
+	if s.Rewarm > stride-window {
+		s.Rewarm = stride - window
+	}
+	return s
+}
+
+// minPeriods is the number of sampling periods even the shortest phase
+// is carved into (when the stride ceiling allows fewer).
+const minPeriods = 4
+
+// gap is the skipped span per sampling period.
+func (sp *Sampled) gap() int64 { return sp.stride - sp.Window - sp.rewarm() }
+
+// rewarm is the effective pre-window warm span: the configured Rewarm,
+// shrunk when the effective stride leaves no room for it.
+func (sp *Sampled) rewarm() int64 {
+	if r := sp.stride - sp.Window; sp.Rewarm > r {
+		return r
+	}
+	return sp.Rewarm
+}
+
+// winCPI is the instruction-weighted mean CPI over the phase's measured
+// windows — the charge rate for skipped and re-warm spans. The head is
+// deliberately excluded: its cold cycles would poison the rate every
+// skipped span pays (observed: −40..−60% IPC on large-L2 cells when the
+// head was included).
+func (sp *Sampled) winCPI() float64 {
+	if sp.winI == 0 {
+		return sp.cold.cpiCold
+	}
+	return float64(sp.winC) / float64(sp.winI)
+}
+
+func (sp *Sampled) enterPhase(pi int, remaining int64) {
+	sp.stride = remaining / minPeriods
+	if sp.stride > sp.Stride {
+		sp.stride = sp.Stride
+	}
+	if min := sp.Window + 1; sp.stride < min {
+		sp.stride = min
+	}
+	sp.phase = pi
+	sp.st = ssHead
+	sp.got, sp.cyc = 0, 0
+	sp.cold = coldModel{}
+	sp.probeSt = ssim.FuncStats{}
+	sp.funcCyc, sp.funcN = 0, 0
+	sp.pending = 0
+	sp.winI, sp.winC = 0, 0
+	sp.arrearsI, sp.arrearsCPI = 0, 0
+	sp.pre = snap(sp.det)
+}
+
+// RunBudget satisfies Sim. As with the interval tier, sources that
+// cannot skip degrade to pure detailed execution.
+func (sp *Sampled) RunBudget(src ssim.InstrSource, maxInstrs, maxCycles int64) (instrs, cycles int64) {
+	fsrc, ok := src.(Source)
+	if !ok {
+		return sp.det.RunBudget(src, maxInstrs, maxCycles)
+	}
+	for instrs < maxInstrs && cycles < maxCycles {
+		if pi := fsrc.PhaseIndex(); pi != sp.phase {
+			sp.enterPhase(pi, fsrc.PhaseRemaining())
+		}
+		n, c := sp.step(fsrc, maxInstrs-instrs, maxCycles-cycles)
+		if n == 0 && c == 0 {
+			break
+		}
+		instrs += n
+		cycles += c
+	}
+	return instrs, cycles
+}
+
+// step advances the sampling state machine by one bounded stage slice.
+func (sp *Sampled) step(src Source, maxI, maxC int64) (int64, int64) {
+	switch sp.st {
+	case ssHead:
+		want := clamp(sp.Head-sp.got, maxI)
+		// Pause at the span's midpoint so the cold model can split the
+		// miss rate into halves (its transition-decay estimate).
+		if half := sp.Head / 2; sp.got < half {
+			want = clamp(half-sp.got, want)
+		}
+		n, c := sp.det.RunBudget(src, want, maxC)
+		if n == 0 && c == 0 {
+			return 0, 0
+		}
+		sp.got += n
+		sp.cyc += c
+		if !sp.cold.halfSeen && sp.got >= sp.Head/2 {
+			sp.cold.markHalf(sp.det, sp.got, sp.cyc)
+		}
+		if sp.got >= sp.Head {
+			sp.cold.entryDone(sp.got, sp.cyc, sp.pre, snap(sp.det))
+			sp.st = ssProbe
+			sp.got, sp.cyc = 0, 0
+		}
+		return n, c
+
+	case ssProbe:
+		// Cold functional probe on the unprefilled caches, measuring
+		// mid-transition event rates; charged at the cold rate, with the
+		// cold charge netting out the premium (see coldModel).
+		cpi := sp.cold.cpiCold
+		want := clamp(sp.Probe-sp.got, maxI)
+		if lim := int64(float64(maxC)/cpi) + 1; lim < want {
+			want = lim
+		}
+		fst := sp.det.FuncRun(src, want)
+		if fst.Instrs == 0 {
+			return 0, 0
+		}
+		sp.probeSt.Add(fst)
+		sp.got += fst.Instrs
+		c := int64(float64(fst.Instrs)*cpi + 0.5)
+		sp.funcCyc += c
+		sp.funcN += fst.Instrs
+		if sp.got >= sp.Probe {
+			sp.cold.probeDone(sp.probeSt)
+			sp.cold.warmDone(sp.det, src)
+			sp.st = ssBurn
+			sp.got, sp.cyc = 0, 0
+		}
+		return fst.Instrs, c
+
+	case ssBurn:
+		// Functional burn-in after the prefill, restoring LRU recency
+		// ahead of the first window; charged like the probe.
+		cpi := sp.cold.cpiCold
+		want := clamp(sp.Burn-sp.got, maxI)
+		if lim := int64(float64(maxC)/cpi) + 1; lim < want {
+			want = lim
+		}
+		fst := sp.det.FuncRun(src, want)
+		if fst.Instrs == 0 {
+			return 0, 0
+		}
+		sp.got += fst.Instrs
+		c := int64(float64(fst.Instrs)*cpi + 0.5)
+		sp.funcCyc += c
+		sp.funcN += fst.Instrs
+		if sp.got >= sp.Burn {
+			sp.st = ssWindow
+			sp.got, sp.cyc = 0, 0
+			sp.pre = snap(sp.det)
+		}
+		return fst.Instrs, c
+
+	case ssWindow:
+		want := clamp(sp.Window-sp.got, maxI)
+		n, c := sp.det.RunBudget(src, want, maxC)
+		if n == 0 && c == 0 {
+			return 0, 0
+		}
+		sp.got += n
+		sp.cyc += c
+		sp.winI += n
+		sp.winC += c
+		if sp.got >= sp.Window {
+			wcpi := float64(sp.cyc) / float64(sp.got)
+			if sp.winI <= sp.Window {
+				// First window of the phase: close the cold model.
+				post := snap(sp.det)
+				mSteady := float64(post.l2-sp.pre.l2) / float64(sp.got)
+				mISteady := float64(post.l1i-sp.pre.l1i) / float64(sp.got)
+				sfx := float64(post.fx-sp.pre.fx) / float64(sp.got)
+				burnPremium := float64(sp.funcCyc) - float64(sp.funcN)*wcpi
+				sp.pending = sp.cold.coldCharge(sp.det, wcpi, mSteady, mISteady, sfx, src.PhaseRemaining(), burnPremium)
+			} else if sp.arrearsI > 0 {
+				// True the previous gap's charge up to the trapezoid of
+				// its bracketing windows.
+				sp.pending += (wcpi - sp.arrearsCPI) / 2 * float64(sp.arrearsI)
+			}
+			sp.arrearsI = 0
+			sp.st = ssGap
+			sp.got = 0
+		}
+		return n, c
+
+	case ssGap:
+		if sp.gap() <= sp.got {
+			// Dense sampling leaves no skipped span this period.
+			sp.st, sp.got = ssRewarm, 0
+			if sp.rewarm() == 0 {
+				sp.st = ssWindow
+			}
+			return sp.step(src, maxI, maxC)
+		}
+		cpi := sp.winCPI()
+		want := clamp(sp.gap()-sp.got, maxI)
+		if lim := int64(float64(maxC)/cpi) + 1; lim < want {
+			want = lim
+		}
+		n := src.Skip(want)
+		if n == 0 {
+			if src.PhaseIndex() != sp.phase {
+				return 0, 1 // boundary: outer loop re-enters the new phase
+			}
+			return 0, 0
+		}
+		sp.got += n
+		// Apply the (signed) cold charge; a refund larger than this
+		// step's cycles carries over rather than being clamped away.
+		wantC := float64(n)*cpi + sp.pending
+		sp.pending = 0
+		c := int64(wantC + 0.5)
+		if c < 1 {
+			sp.pending = wantC - 1
+			c = 1
+		}
+		sp.arrearsI += n
+		sp.arrearsCPI = cpi
+		if sp.got >= sp.gap() {
+			sp.st = ssRewarm
+			sp.got = 0
+			if sp.rewarm() == 0 {
+				sp.st = ssWindow
+			}
+		}
+		return n, c
+
+	default: // ssRewarm
+		cpi := sp.winCPI()
+		want := clamp(sp.rewarm()-sp.got, maxI)
+		if lim := int64(float64(maxC)/cpi) + 1; lim < want {
+			want = lim
+		}
+		fst := sp.det.FuncRun(src, want)
+		if fst.Instrs == 0 {
+			return 0, 0
+		}
+		sp.got += fst.Instrs
+		c := int64(float64(fst.Instrs)*cpi + 0.5)
+		sp.arrearsI += fst.Instrs
+		sp.arrearsCPI = cpi
+		if sp.got >= sp.rewarm() {
+			sp.st = ssWindow
+			sp.got, sp.cyc = 0, 0
+		}
+		return fst.Instrs, c
+	}
+}

@@ -147,6 +147,14 @@ func (l *BankedL2) Access(addr uint64, write bool) (hit bool, hitDelay int, writ
 	return hit, L2HitDelay(l.distance[b]), writeback
 }
 
+// Touch is the functional-access mode of Access: the identical bank
+// lookup and state transition with no statistics recorded and no delay
+// computed. See Cache.Touch.
+func (l *BankedL2) Touch(addr uint64, write bool) (hit bool) {
+	b, ba := l.locate(addr)
+	return l.banks[b].Touch(ba, write)
+}
+
 // Contains reports whether the address is resident in its home bank,
 // without perturbing LRU state or statistics.
 func (l *BankedL2) Contains(addr uint64) bool {
@@ -172,6 +180,15 @@ func (l *BankedL2) ResetStats() {
 	for _, b := range l.banks {
 		b.ResetStats()
 	}
+}
+
+// ValidLines returns the total resident lines across banks.
+func (l *BankedL2) ValidLines() int {
+	n := 0
+	for _, b := range l.banks {
+		n += b.ValidLines()
+	}
+	return n
 }
 
 // DirtyLines returns the total resident dirty lines across banks.

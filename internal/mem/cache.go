@@ -222,6 +222,48 @@ func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
 	return false, writeback
 }
 
+// Touch is the functional-access mode: it performs exactly the state
+// transition Access would — set-clock tick, LRU stamp, dirty marking,
+// allocation and eviction — but records no statistics, and reports only
+// whether the access hit. The fast simulation tiers use it to keep tag
+// arrays evolving during functional fast-forward, so a later detailed
+// window observes the cache state a full detailed run would have
+// produced; the state equivalence is pinned by TestTouchMatchesAccess.
+func (c *Cache) Touch(addr uint64, write bool) (hit bool) {
+	block := addr >> c.blockShift
+	set := int(block & c.setMask)
+	tag := block >> c.tagShift
+	base := 2 * set * c.assoc
+	want := metaValid | tag
+	ln := c.lines[base : base+2*c.assoc : base+2*c.assoc]
+	cl := c.clock[set] + 1
+	c.clock[set] = cl
+
+	for i := 0; i < len(ln); i += 2 {
+		if ln[i]&^metaDirty == want {
+			if write {
+				ln[i] |= metaDirty
+			}
+			ln[i+1] = cl
+			return true
+		}
+	}
+
+	victim, oldest := 0, ^uint64(0)
+	for i := 1; i < len(ln); i += 2 {
+		if st := ln[i]; st < oldest {
+			oldest, victim = st, i-1
+		}
+	}
+	m := want
+	if write {
+		m |= metaDirty
+	}
+	ln[victim] = m
+	ln[victim+1] = cl
+	return false
+}
+
 // Contains reports whether the address's block is resident, without
 // perturbing LRU state or statistics.
 func (c *Cache) Contains(addr uint64) bool {

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"cash/internal/cost"
+	"cash/internal/isim"
 	"cash/internal/par"
 	"cash/internal/slice"
 	"cash/internal/ssim"
@@ -50,6 +51,18 @@ type DB struct {
 	// Window is the quantum-window size in cycles used for MinQ;
 	// it should match the experiment engine's control quantum.
 	Window int64
+
+	// Tier selects the simulation fidelity every measurement runs at.
+	// The zero value is isim.TierCycle — the authoritative cycle-level
+	// tier paper figures are produced on. Fast tiers trade the
+	// calibration-gated IPC tolerance (isim.CalibTolerance) for an
+	// order of magnitude of sweep throughput; their MinQ is biased
+	// toward Avg because modelled spans have no window-to-window
+	// variance.
+	Tier isim.Tier
+	// SampleWindow/SampleStride configure the sampled tier's geometry
+	// in instructions (zero: isim defaults). Ignored by other tiers.
+	SampleWindow, SampleStride int64
 
 	// Pool bounds the worker budget of the parallel configuration sweep
 	// (CharacterizeApp). nil means the process-wide shared pool
@@ -153,6 +166,32 @@ func appKey(app workload.App) string {
 	return fmt.Sprintf("%s#%016x", app.Name, h.Sum64())
 }
 
+// key identifies one measurement cell: application digest,
+// configuration, and — for non-cycle tiers — the tier and its geometry.
+// The cycle tier keeps the bare legacy key, so existing CASHORACLE3
+// cache files load as exactly what they are: cycle-level
+// characterisations. Without the tier tag, a fast-tier sweep sharing a
+// cache file with a cycle-level run would silently serve its
+// approximations to the paper figures (and vice versa); the cross-tier
+// collision regression test in key_test.go pins the separation.
+func (db *DB) key(app workload.App, cfg vcore.Config) string {
+	k := appKey(app) + "@" + cfg.String()
+	switch db.Tier {
+	case isim.TierInterval:
+		k += "@tier=interval"
+	case isim.TierSampled:
+		w, s := db.SampleWindow, db.SampleStride
+		if w <= 0 {
+			w = isim.DefaultSampleWindow
+		}
+		if s <= 0 {
+			s = isim.DefaultSampleStride
+		}
+		k += fmt.Sprintf("@tier=sampled/w%d/s%d", w, s)
+	}
+	return k
+}
+
 // Characterize returns the characterisation of app on cfg, measuring it
 // on first use. Concurrent calls for the same key are deduplicated:
 // the first caller measures, the rest wait for its result. Without
@@ -160,7 +199,7 @@ func appKey(app workload.App) string {
 // cells sharing a DB) could burn a full application simulation per
 // caller before the first result lands in the cache.
 func (db *DB) Characterize(app workload.App, cfg vcore.Config) Char {
-	key := appKey(app) + "@" + cfg.String()
+	key := db.key(app, cfg)
 	db.mu.Lock()
 	if v, ok := db.cache[key]; ok {
 		db.mu.Unlock()
@@ -245,6 +284,17 @@ func (db *DB) measureApp(app workload.App, cfg vcore.Config) Char {
 	gen := db.gens.Get().(*workload.Gen)
 	gen.ResetTo(app, db.Seed)
 	defer db.gens.Put(gen)
+	// Fast tiers wrap the pooled detailed simulator per measurement; the
+	// wrapper holds only the per-phase model state, so pooling semantics
+	// (and the tier-1 byte-identity contract for TierCycle) are
+	// untouched.
+	var runner isim.Sim = sim
+	if db.Tier != isim.TierCycle {
+		runner = isim.New(db.Tier, sim, isim.Options{
+			SampleWindow: db.SampleWindow,
+			SampleStride: db.SampleStride,
+		})
+	}
 	ch := Char{
 		Avg:  make([]float64, len(app.Phases)),
 		MinQ: make([]float64, len(app.Phases)),
@@ -260,7 +310,7 @@ func (db *DB) measureApp(app workload.App, cfg vcore.Config) Char {
 		for remaining > 0 {
 			// Gen.Next never crosses a phase boundary, so bounding by the
 			// phase's remaining instructions attributes cycles precisely.
-			n, c := sim.RunBudget(gen, remaining, window)
+			n, c := runner.RunBudget(gen, remaining, window)
 			if n == 0 && c == 0 {
 				break
 			}

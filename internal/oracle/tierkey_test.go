@@ -1,0 +1,77 @@
+package oracle
+
+import (
+	"testing"
+
+	"cash/internal/isim"
+	"cash/internal/vcore"
+)
+
+// TestTierKeyCollisionRegression pins the cross-tier cache-poisoning
+// bug: before the tier tag, a fast-tier sweep sharing a cache file with
+// a cycle-level run produced identical keys for the same (app, config)
+// cell, so whichever ran first silently served its result to the other
+// — approximations into paper figures, or golden cycles into
+// calibration baselines. Every tier (and, for the sampled tier, every
+// window geometry) must key separately; the cycle tier keeps the bare
+// legacy key so existing CASHORACLE3 cache files stay valid.
+func TestTierKeyCollisionRegression(t *testing.T) {
+	app := tinyApp()
+	cfg := vcore.Config{Slices: 2, L2KB: 128}
+
+	dbAt := func(tier isim.Tier, window, stride int64) *DB {
+		db := NewDB()
+		db.Tier = tier
+		db.SampleWindow, db.SampleStride = window, stride
+		return db
+	}
+	keys := map[string]string{
+		"cycle":           dbAt(isim.TierCycle, 0, 0).key(app, cfg),
+		"interval":        dbAt(isim.TierInterval, 0, 0).key(app, cfg),
+		"sampled-default": dbAt(isim.TierSampled, 0, 0).key(app, cfg),
+		"sampled-wide":    dbAt(isim.TierSampled, 80_000, 2_000_000).key(app, cfg),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, ok := seen[k]; ok {
+			t.Errorf("tiers %s and %s share cache key %q — one would silently serve the other's characterisation", prev, name, k)
+		}
+		seen[k] = name
+	}
+
+	// The cycle tier must keep the exact legacy key: existing cache
+	// files are cycle-level characterisations and must keep loading as
+	// such.
+	if legacy := appKey(app) + "@" + cfg.String(); keys["cycle"] != legacy {
+		t.Errorf("cycle-tier key %q differs from the legacy key %q — existing cache files would be orphaned", keys["cycle"], legacy)
+	}
+
+	// Explicit default geometry and zero geometry must agree: both run
+	// the identical sampled simulation, so splitting their keys would
+	// duplicate measurements.
+	if a, b := dbAt(isim.TierSampled, 0, 0).key(app, cfg), dbAt(isim.TierSampled, isim.DefaultSampleWindow, isim.DefaultSampleStride).key(app, cfg); a != b {
+		t.Errorf("zero and explicit-default sampled geometry key differently: %q vs %q", a, b)
+	}
+}
+
+// TestTierCacheSeparation runs the same cell at cycle and interval tier
+// through one DB and asserts two distinct cache entries with distinct
+// measurements — the end-to-end version of the key regression.
+func TestTierCacheSeparation(t *testing.T) {
+	app := tinyApp()
+	cfg := vcore.Config{Slices: 2, L2KB: 128}
+
+	db := NewDB()
+	cycle := db.Characterize(app, cfg)
+	db.Tier = isim.TierInterval
+	fast := db.Characterize(app, cfg)
+	if db.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2 (one per tier)", db.Entries())
+	}
+	// The interval tier models spans instead of executing them; an IPC
+	// bit-identical to the cycle tier means the cache served the wrong
+	// entry.
+	if cycle.Avg[0] == fast.Avg[0] {
+		t.Error("cycle and interval tiers characterised bit-identically — cache served the wrong entry")
+	}
+}

@@ -21,10 +21,7 @@ func check() {
 	s := ssim.MustNew(vcore.Config{Slices: 4, L2KB: 4096}, slice.DefaultConfig(), ssim.SteerEarliest)
 	rg := p.Regions(0)
 	fmt.Printf("code region: base=%#x size=%d\n", rg.Code.Base, rg.Code.Size)
-	s.PrefillL2(rg.Main.Base, rg.Main.Size)
-	s.PrefillL2(rg.Code.Base, rg.Code.Size)
-	s.PrefillL1D(rg.Hot.Base, rg.Hot.Size)
-	s.PrefillL1I(rg.HotCode.Base, rg.HotCode.Size)
+	s.WarmPhase(rg)
 	h1, _, _ := s.VCore().L2().Access(rg.Code.Base, false)
 	h2, _, _ := s.VCore().L2().Access(rg.Code.Base+4096, false)
 	h3, _, _ := s.VCore().L2().Access(rg.Main.Base, false)

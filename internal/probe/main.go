@@ -19,14 +19,7 @@ import (
 func ipc(p workload.Phase, pi int, cfg vcore.Config, n int64) float64 {
 	g := workload.NewPhaseGen(p, pi, 42)
 	s := ssim.MustNew(cfg, slice.DefaultConfig(), ssim.SteerEarliest)
-	rg := p.Regions(pi)
-	s.PrefillL2(rg.Main.Base, rg.Main.Size)
-	if rg.Mid.Size > 0 {
-		s.PrefillL2(rg.Mid.Base, rg.Mid.Size)
-	}
-	s.PrefillL2(rg.Code.Base, rg.Code.Size)
-	s.PrefillL1D(rg.Hot.Base, rg.Hot.Size)
-	s.PrefillL1I(rg.HotCode.Base, rg.HotCode.Size)
+	s.WarmPhase(p.Regions(pi))
 	s.Run(g, 5000) // pipeline warmup
 	start := s.Cycle()
 	instrs, _ := s.Run(g, n)

@@ -104,12 +104,61 @@ func (g *Gen) Next(buf []isa.Instr) int {
 	return int(n)
 }
 
+// Skip advances the stream past up to n instructions without
+// generating them, returning how many were skipped. Like Next it never
+// crosses a phase boundary, so callers always observe homogeneous-phase
+// spans; a skip that lands exactly on a boundary advances to the next
+// phase just as Next would.
+//
+// A skipped span leaves the RNG untouched: the instructions that follow
+// are drawn from the same stationary per-phase distribution but are not
+// the ones Next would have produced had it generated the span. The fast
+// simulation tiers charge skipped spans analytically, so only the
+// distribution matters; callers that need the exact stream (the
+// cycle-level tier, the golden digests) must not skip.
+func (g *Gen) Skip(n int64) int64 {
+	if g.Done() || n <= 0 {
+		return 0
+	}
+	p := &g.app.Phases[g.phase]
+	if left := p.Instrs - g.phaseInstr; n > left {
+		n = left
+	}
+	g.phaseInstr += n
+	g.total += n
+	if g.phaseInstr >= p.Instrs && g.phase < len(g.app.Phases)-1 {
+		g.phase++
+		g.phaseInstr = 0
+		g.pg.init(&g.app.Phases[g.phase], g.phase)
+	}
+	return n
+}
+
+// CurrentRegions returns the address layout of the phase the next
+// instruction belongs to, for cache warm-up by the fast simulation
+// tiers.
+func (g *Gen) CurrentRegions() Regions {
+	return g.app.Phases[g.phase].Regions(g.phase)
+}
+
+// PhaseRemaining returns how many instructions are left in the current
+// phase; the fast tiers use it to bound their cold-start charge to what
+// a cycle-level run could actually incur before the phase ends.
+func (g *Gen) PhaseRemaining() int64 {
+	if g.Done() {
+		return 0
+	}
+	return g.app.Phases[g.phase].Instrs - g.phaseInstr
+}
+
 // PhaseGen generates the steady-state instruction stream of a single
 // phase forever. The oracle uses it to characterise one (phase, config)
 // point without running the whole application.
 type PhaseGen struct {
-	r  rng
-	pg phaseGen
+	r   rng
+	pg  phaseGen
+	p   Phase
+	idx int
 }
 
 // NewPhaseGen returns a generator for one phase. phaseIndex seeds the
@@ -119,8 +168,8 @@ func NewPhaseGen(p Phase, phaseIndex int, seed uint64) *PhaseGen {
 	if err := p.Validate(); err != nil {
 		panic(fmt.Sprintf("workload.NewPhaseGen: %v", err))
 	}
-	g := &PhaseGen{r: newRNG(seed)}
-	g.pg.init(&p, phaseIndex)
+	g := &PhaseGen{r: newRNG(seed), p: p, idx: phaseIndex}
+	g.pg.init(&g.p, phaseIndex)
 	return g
 }
 
@@ -133,7 +182,8 @@ func (g *PhaseGen) Reset(p Phase, phaseIndex int, seed uint64) {
 		panic(fmt.Sprintf("workload.PhaseGen.Reset: %v", err))
 	}
 	g.r = newRNG(seed)
-	g.pg.init(&p, phaseIndex)
+	g.p, g.idx = p, phaseIndex
+	g.pg.init(&g.p, phaseIndex)
 }
 
 // Next fills buf and returns len(buf); a phase stream never ends.
@@ -143,6 +193,30 @@ func (g *PhaseGen) Next(buf []isa.Instr) int {
 	}
 	return len(buf)
 }
+
+// PhaseIndex returns the index the stream was seeded with (which fixes
+// its address regions), mirroring Gen.PhaseIndex.
+func (g *PhaseGen) PhaseIndex() int { return g.idx }
+
+// Skip advances the stream past n instructions without generating
+// them. A phase stream is infinite and stationary, so there is no
+// position bookkeeping to advance; as with Gen.Skip the RNG is left
+// untouched and the post-skip stream is a fresh draw from the same
+// distribution.
+func (g *PhaseGen) Skip(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return n
+}
+
+// CurrentRegions returns the address layout of the generated phase.
+func (g *PhaseGen) CurrentRegions() Regions {
+	return g.p.Regions(g.idx)
+}
+
+// PhaseRemaining mirrors Gen.PhaseRemaining; a phase stream never ends.
+func (g *PhaseGen) PhaseRemaining() int64 { return math.MaxInt64 / 2 }
 
 // phaseGen holds the per-phase sampling state shared by Gen and PhaseGen.
 type phaseGen struct {
@@ -263,6 +337,9 @@ func (p Phase) Regions(phaseIndex int) Regions {
 	codeKB := codeBaseKB + p.WorkingSetKB/codeWSDivisor
 	if codeKB > codeMaxKB {
 		codeKB = codeMaxKB
+	}
+	if p.CodeKB > 0 {
+		codeKB = p.CodeKB
 	}
 	codeBase := base | 1<<40
 	return Regions{

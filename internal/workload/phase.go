@@ -116,6 +116,15 @@ type Phase struct {
 	// compressor's recurring block buffers). Shared regions avoid
 	// paying a full cold start at every phase transition.
 	RegionID int
+	// CodeKB, when non-zero, pins the phase's instruction footprint
+	// instead of deriving it from the data working set. The derivation
+	// (a fixed base plus a fraction of WorkingSetKB) matches real
+	// applications, but couples the axes: a phase built to stress a
+	// huge data stream drags in a maximal code region whose compulsory
+	// fetch-warming alone spans most of a short run. Workloads that
+	// need the instruction side stationary — the calibration corpus —
+	// pin it here. Zero keeps the derived size.
+	CodeKB int
 }
 
 // Validate checks the phase parameters for consistency.
@@ -164,6 +173,13 @@ func (p Phase) Validate() error {
 	}
 	if p.Stride <= 0 {
 		return fmt.Errorf("workload: phase %q stride %d must be positive", p.Name, p.Stride)
+	}
+	if p.CodeKB < 0 {
+		return fmt.Errorf("workload: phase %q negative code footprint %dKB", p.Name, p.CodeKB)
+	}
+	if p.CodeKB > 0 && p.CodeKB < hotCodeKB {
+		return fmt.Errorf("workload: phase %q code footprint %dKB smaller than the %dKB hot loop body",
+			p.Name, p.CodeKB, hotCodeKB)
 	}
 	return nil
 }
